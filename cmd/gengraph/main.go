@@ -1,0 +1,92 @@
+// Command gengraph generates the synthetic datasets of the reproduction
+// and writes them in METIS .graph or edge-list format.
+//
+// Usage:
+//
+//	gengraph -dataset com-lj -scale 0.5 -format metis -o com-lj.graph
+//	gengraph -list
+//	gengraph -rmat -n 100000 -m 1000000 -o social.graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paragon/internal/gen"
+	"paragon/internal/graph"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "named dataset stand-in (see -list)")
+	list := flag.Bool("list", false, "list available dataset stand-ins")
+	scale := flag.Float64("scale", 1.0, "size multiplier for -dataset")
+	rmat := flag.Bool("rmat", false, "generate a raw RMAT graph instead of a named dataset")
+	n := flag.Int("n", 100000, "vertices for -rmat")
+	m := flag.Int64("m", 1000000, "edges for -rmat")
+	seed := flag.Int64("seed", 1, "seed for -rmat")
+	format := flag.String("format", "metis", "output format: metis, edgelist, or binary")
+	out := flag.String("o", "", "output file (default stdout)")
+	degreeWeights := flag.Bool("degree-weights", true, "set vertex weights/sizes to vertex degree (the paper's default)")
+	stats := flag.Bool("stats", false, "print structural statistics instead of writing the graph")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available dataset stand-ins (paper dataset -> structural class):")
+		for _, d := range gen.Datasets() {
+			fmt.Printf("  %-12s %s\n", d.Name, d.Class)
+		}
+		return
+	}
+
+	var g *graph.Graph
+	switch {
+	case *rmat:
+		g = gen.RMAT(int32(*n), *m, 0.57, 0.19, 0.19, *seed)
+	case *dataset != "":
+		d, err := gen.DatasetByName(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		g = d.Build(*scale)
+	default:
+		fatal(fmt.Errorf("need -dataset, -rmat, or -list (see -h)"))
+	}
+	if *degreeWeights {
+		g.UseDegreeWeights()
+	}
+	if *stats {
+		fmt.Println(graph.ComputeStats(g))
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "metis":
+		err = graph.WriteMETIS(w, g)
+	case "edgelist":
+		err = graph.WriteEdgeList(w, g)
+	case "binary":
+		err = graph.WriteBinary(w, g)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,169 @@
+// Command paragon partitions a graph with a streaming heuristic and then
+// refines the decomposition with PARAGON against a modeled cluster
+// topology, reporting the quality metrics of §3 before and after.
+//
+// Usage:
+//
+//	paragon -in graph.metis -k 40 -cluster pitt -nodes 2 -lambda 1 \
+//	        -partitioner dg -drp 8 -shuffles 8 -out assignment.txt
+//
+// The input is a METIS .graph file (as written by gengraph) or an edge
+// list (-format edgelist).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"paragon/internal/graph"
+	"paragon/internal/metis"
+	"paragon/internal/paragon"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+func main() {
+	in := flag.String("in", "", "input graph file (required)")
+	format := flag.String("format", "metis", "input format: metis, edgelist, or binary")
+	k := flag.Int("k", 0, "number of partitions (default: all cores of the cluster)")
+	clusterName := flag.String("cluster", "pitt", "cluster model: pitt, gordon, or uma")
+	nodes := flag.Int("nodes", 2, "number of compute nodes")
+	lambda := flag.Float64("lambda", 0, "contention degree λ of Eq. 12")
+	partitioner := flag.String("partitioner", "dg", "initial partitioner: hp, dg, ldg, fennel, metis, or metis-kway")
+	drp := flag.Int("drp", 8, "degree of refinement parallelism")
+	shuffles := flag.Int("shuffles", 8, "shuffle refinement rounds")
+	khop := flag.Int("khop", 0, "boundary expansion hops shipped to group servers")
+	alpha := flag.Float64("alpha", 10, "communication/migration weight α")
+	eps := flag.Float64("eps", 0.02, "allowed load imbalance")
+	seed := flag.Int64("seed", 42, "refinement seed")
+	out := flag.String("out", "", "write the final vertex->partition assignment here")
+	topo := flag.Bool("topo", false, "print the modeled cluster topology and exit")
+	flag.Parse()
+
+	if *topo {
+		var cl *topology.Cluster
+		switch *clusterName {
+		case "pitt":
+			cl = topology.PittCluster(*nodes)
+		case "gordon":
+			cl = topology.GordonCluster(*nodes)
+		case "uma":
+			cl = topology.UMACluster(*nodes)
+		default:
+			fatal(fmt.Errorf("unknown cluster %q", *clusterName))
+		}
+		fmt.Print(cl.Describe())
+		return
+	}
+
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var g *graph.Graph
+	switch *format {
+	case "metis":
+		g, err = graph.ReadMETIS(f)
+	case "edgelist":
+		g, err = graph.ReadEdgeList(f)
+	case "binary":
+		g, err = graph.ReadBinary(f)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var cl *topology.Cluster
+	switch *clusterName {
+	case "pitt":
+		cl = topology.PittCluster(*nodes)
+	case "gordon":
+		cl = topology.GordonCluster(*nodes)
+	case "uma":
+		cl = topology.UMACluster(*nodes)
+	default:
+		fatal(fmt.Errorf("unknown cluster %q", *clusterName))
+	}
+	if *k == 0 {
+		*k = cl.TotalCores()
+	}
+	c, err := cl.PartitionCostMatrix(*k, *lambda)
+	if err != nil {
+		fatal(err)
+	}
+	nodeOf, err := cl.NodeOf(*k)
+	if err != nil {
+		fatal(err)
+	}
+
+	var p *partition.Partitioning
+	switch *partitioner {
+	case "hp":
+		p = stream.HP(g, int32(*k))
+	case "dg":
+		p = stream.DG(g, int32(*k), stream.Options{Eps: *eps})
+	case "ldg":
+		p = stream.LDG(g, int32(*k), stream.Options{Eps: *eps})
+	case "fennel":
+		p = stream.Fennel(g, int32(*k), stream.Options{Eps: *eps})
+	case "metis":
+		p = metis.Partition(g, int32(*k), metis.Options{Eps: *eps, Seed: *seed})
+	case "metis-kway":
+		p = metis.PartitionKWay(g, int32(*k), metis.Options{Eps: *eps, Seed: *seed})
+	default:
+		fatal(fmt.Errorf("unknown partitioner %q", *partitioner))
+	}
+
+	report := func(stage string, q partition.Quality) {
+		fmt.Printf("%-8s edge-cut %-10d comm-cost %-14.0f skew %.4f\n", stage, q.EdgeCut, q.CommCost, q.Skewness)
+	}
+	report("initial", partition.Evaluate(g, p, c, *alpha))
+
+	st, err := paragon.Refine(g, p, c, paragon.Config{
+		DRP: *drp, Shuffles: *shuffles, KHop: *khop,
+		Alpha: *alpha, MaxImbalance: *eps, Seed: *seed, NodeOf: nodeOf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	report("refined", partition.Evaluate(g, p, c, *alpha))
+	fmt.Printf("refinement: master=%d drp=%d rounds=%d pairs=%d moves=%d gain=%.0f time=%s\n",
+		st.Master, st.DRP, st.Rounds, st.PairsRefined, st.Moves, st.Gain, st.RefinementTime.Round(0))
+	fmt.Printf("migration:  %d vertices, cost %.0f (%.1f%% of graph)\n",
+		st.MigratedVertices, st.MigrationCost,
+		100*float64(st.MigratedVertices)/float64(g.NumVertices()))
+	fmt.Printf("volume:     shipped %d boundary vertices (%d half-edges), %d exchange bytes\n",
+		st.BoundaryShipped, st.ShippedEdgeVolume, st.LocationExchangeBytes)
+
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(of)
+		for v := int32(0); v < g.NumVertices(); v++ {
+			fmt.Fprintf(w, "%d %d\n", v, p.Assign[v])
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := of.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote assignment to %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "paragon: %v\n", err)
+	os.Exit(1)
+}

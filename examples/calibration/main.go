@@ -1,0 +1,75 @@
+// Calibration: the measurement step of §7 ("Network Communication Cost
+// Modelling") played end to end. The paper derives its relative cost
+// matrix from osu_latency probes between bound MPI ranks; here,
+// synthetic probe samples (as a real deployment would collect) are
+// fitted into a LatencyModel, installed on the cluster model, and the
+// calibrated matrix drives a PARAGON refinement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"paragon/internal/gen"
+	"paragon/internal/paragon"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+func main() {
+	cluster := topology.PittCluster(2)
+
+	// 1. "Measure": ping-pong latencies between rank pairs. A real
+	//    deployment runs osu_latency; here the probe values come from a
+	//    hidden ground-truth model plus 5% noise.
+	truth := topology.LatencyModel{
+		SharedL2: 1, IntraSocket: 1.8, InterSocket: 5.2,
+		InterNodeBase: 22, PerHop: 6,
+	}
+	probe := *cluster
+	probe.Latency = truth
+	rng := rand.New(rand.NewSource(7))
+	var samples []topology.LatencySample
+	for i := 0; i < 400; i++ {
+		a, b := rng.Intn(cluster.TotalCores()), rng.Intn(cluster.TotalCores())
+		if a == b {
+			continue
+		}
+		noise := 1 + 0.05*(rng.Float64()*2-1)
+		samples = append(samples, topology.LatencySample{
+			RankA: a, RankB: b, Latency: probe.Cost(a, b) * 3.14 * noise, // µs-ish units
+		})
+	}
+
+	// 2. Fit and install the model.
+	fitted, err := topology.CalibrateLatency(cluster, samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Latency = fitted
+	fmt.Printf("fitted model: intra-socket %.2f, inter-socket %.2f, inter-node %.2f (+%.2f/hop)\n",
+		fitted.IntraSocket, fitted.InterSocket, fitted.InterNodeBase, fitted.PerHop)
+
+	// 3. Refine against the calibrated matrix.
+	g := gen.RMAT(10000, 60000, 0.57, 0.19, 0.19, 1)
+	g.UseDegreeWeights()
+	k := cluster.TotalCores()
+	costs, err := cluster.PartitionCostMatrix(k, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodeOf, _ := cluster.NodeOf(k)
+	p := stream.DG(g, int32(k), stream.DefaultOptions())
+	before := partition.CommCost(g, p, costs, 10)
+	cfg := paragon.DefaultConfig()
+	cfg.Seed = 3
+	cfg.NodeOf = nodeOf
+	if _, err := paragon.Refine(g, p, costs, cfg); err != nil {
+		log.Fatal(err)
+	}
+	after := partition.CommCost(g, p, costs, 10)
+	fmt.Printf("comm cost on calibrated matrix: %.0f -> %.0f (%.1f%% better)\n",
+		before, after, 100*(1-after/before))
+}

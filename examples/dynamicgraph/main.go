@@ -1,0 +1,81 @@
+// Dynamic graph maintenance: the Figure 14 scenario at example scale. A
+// growing social graph arrives as five snapshots; new vertices are
+// injected with DG, and the decomposition either stays as injected or is
+// re-refined by PARAGON after every snapshot. BFS job time is measured
+// on each snapshot for both strategies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paragon/internal/apps"
+	"paragon/internal/bsp"
+	"paragon/internal/dyn"
+	"paragon/internal/gen"
+	"paragon/internal/paragon"
+	"paragon/internal/partition"
+	"paragon/internal/topology"
+)
+
+func main() {
+	full := gen.RMAT(10000, 80000, 0.57, 0.19, 0.19, 9)
+	full.UseDegreeWeights()
+	snaps, err := dyn.Snapshots(full, 5, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster := topology.PittCluster(3)
+	k := int32(cluster.TotalCores())
+	costs, err := cluster.PartitionCostMatrix(int(k), 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodeOf, _ := cluster.NodeOf(int(k))
+
+	jet := func(snap dyn.Snapshot, p *partition.Partitioning) float64 {
+		engine, err := bsp.NewEngine(snap.Graph, p, cluster, bsp.Options{
+			MsgGroupSize: 8, MemoryContention: 0.6,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var total float64
+		for _, src := range []int32{0, 7, 99} {
+			_, res, err := apps.BFS(engine, snap.Graph, src%snap.Graph.NumVertices())
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += res.JET
+		}
+		return total
+	}
+
+	fmt.Println("snapshot   vertices   edges      JET(DG only)   JET(DG+PARAGON)")
+	var dgPrev, parPrev *partition.Partitioning
+	for i, snap := range snaps {
+		// Strategy 1: streaming injection only (decomposition decays).
+		dgCur, err := dyn.Inject(snap, dgPrev, k, 0.02)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Strategy 2: inject, then re-refine with PARAGON.
+		parCur, err := dyn.Inject(snap, parPrev, k, 0.02)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := paragon.DefaultConfig()
+		cfg.Seed = int64(31 + i)
+		cfg.NodeOf = nodeOf
+		if _, err := paragon.Refine(snap.Graph, parCur, costs, cfg); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("S%d         %-10d %-10d %-14.0f %.0f\n",
+			i+1, snap.Graph.NumVertices(), snap.Graph.NumEdges(),
+			jet(snap, dgCur), jet(snap, parCur))
+		dgPrev, parPrev = dgCur, parCur
+	}
+	fmt.Println("\nThe gap widens as the graph drifts from its original shape —")
+	fmt.Println("the paper measured PARAGON 90% ahead of DG by snapshot S5.")
+}

@@ -1,0 +1,74 @@
+// NUMA contention: the §6 profiling experiment. Sweeps the contention
+// degree λ from 0 to 1 on two cluster models and shows how the refined
+// decomposition's communication placement — and the resulting simulated
+// job time — shifts as intra-node costs are penalized.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paragon/internal/apps"
+	"paragon/internal/bsp"
+	"paragon/internal/gen"
+	"paragon/internal/paragon"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+func main() {
+	g := gen.RMAT(8000, 60000, 0.57, 0.19, 0.19, 5)
+	g.UseDegreeWeights()
+
+	for _, tc := range []struct {
+		name       string
+		cluster    *topology.Cluster
+		contention float64 // BSP memory-subsystem factor
+	}{
+		{"flat/fast network (Pitt-like, intra-node bound)", topology.PittCluster(2), 0.6},
+		{"torus/slow network (Gordon-like, network bound)", topology.GordonCluster(2), 0.1},
+	} {
+		fmt.Printf("--- %s ---\n", tc.name)
+		k := tc.cluster.TotalCores()
+		dg := stream.DG(g, int32(k), stream.DefaultOptions())
+		nodeOf, _ := tc.cluster.NodeOf(k)
+		for _, lambda := range []float64{0, 0.5, 1.0} {
+			costs, err := tc.cluster.PartitionCostMatrix(k, lambda)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := dg.Clone()
+			cfg := paragon.DefaultConfig()
+			cfg.Seed = 11
+			cfg.NodeOf = nodeOf
+			if _, err := paragon.Refine(g, p, costs, cfg); err != nil {
+				log.Fatal(err)
+			}
+			engine, err := bsp.NewEngine(g, p, tc.cluster, bsp.Options{
+				MsgGroupSize: 8, MemoryContention: tc.contention,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			var jet float64
+			var vol bsp.VolumeBreakdown
+			for _, src := range []int32{1, 2345} {
+				_, res, err := apps.BFS(engine, g, src)
+				if err != nil {
+					log.Fatal(err)
+				}
+				jet += res.JET
+				vol.IntraSocket += res.Volume.IntraSocket
+				vol.InterSocket += res.Volume.InterSocket
+				vol.InterNode += res.Volume.InterNode
+			}
+			intra := vol.IntraSocket + vol.InterSocket
+			fmt.Printf("λ=%.1f  BFS JET %8.0f   intra-node %5d KB   inter-node %5d KB\n",
+				lambda, jet, intra/1024, vol.InterNode/1024)
+		}
+	}
+	fmt.Println("\nAs λ grows, PARAGON offloads intra-node communication across nodes;")
+	fmt.Println("that pays off where the memory subsystem is the bottleneck and")
+	fmt.Println("hurts where the network is (the paper fixed λ=1 on PittMPICluster,")
+	fmt.Println("λ=0 on Gordon).")
+}

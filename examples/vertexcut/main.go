@@ -1,0 +1,53 @@
+// Vertex-cut execution: the §8 extension. Partitions a power-law graph
+// by edges (PowerGraph-style vertex-cut) with three assigners, runs
+// connected components on the GAS engine over each, and compares
+// replication, synchronization volume, and where that volume lands on
+// the cluster topology — the same architecture-awareness question
+// PARAGON answers for edge-cut decompositions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paragon/internal/gas"
+	"paragon/internal/gen"
+	"paragon/internal/topology"
+	"paragon/internal/vertexcut"
+)
+
+func main() {
+	g := gen.RMAT(15000, 100000, 0.57, 0.19, 0.19, 21)
+	g.UseDegreeWeights()
+	cluster := topology.PittCluster(2)
+	k := int32(cluster.TotalCores())
+
+	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree())
+	fmt.Println("assigner  repl.factor  imbalance  sync KB (intra/inter-socket/inter-node)  CC iters")
+	for _, tc := range []struct {
+		name string
+		a    *vertexcut.Assignment
+	}{
+		{"random", vertexcut.Random(g, k)},
+		{"greedy", vertexcut.Greedy(g, k)},
+		{"hdrf", vertexcut.HDRF(g, k, 2)},
+	} {
+		engine, err := gas.NewEngine(g, tc.a, cluster, gas.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := gas.Components(engine, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s  %-11.2f  %-9.2f  %d/%d/%d  %d\n",
+			tc.name, tc.a.ReplicationFactor(), tc.a.LoadImbalance(),
+			res.Volume.IntraSocket/1024, res.Volume.InterSocket/1024, res.Volume.InterNode/1024,
+			res.Iterations)
+	}
+	fmt.Println("\nHub-replicating assigners (greedy/HDRF) shrink the replica sets of")
+	fmt.Println("power-law graphs, which shrinks every class of synchronization")
+	fmt.Println("traffic — the same topology-aware accounting PARAGON applies to")
+	fmt.Println("edge-cut decompositions (paper §8).")
+}

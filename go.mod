@@ -1,0 +1,3 @@
+module paragon
+
+go 1.22

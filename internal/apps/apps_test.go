@@ -1,0 +1,257 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"paragon/internal/bsp"
+	"paragon/internal/gen"
+	"paragon/internal/graph"
+	"paragon/internal/paragon"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+func engineFor(t *testing.T, g *graph.Graph, k int32) *bsp.Engine {
+	t.Helper()
+	p := stream.DG(g, k, stream.DefaultOptions())
+	e, err := bsp.NewEngine(g, p, topology.PittCluster(2), bsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBFSMatchesSerialReference(t *testing.T) {
+	g := gen.RMAT(800, 3200, 0.57, 0.19, 0.19, 3)
+	e := engineFor(t, g, 8)
+	dist, res, err := BFS(e, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.BFSLevels(g, 0)
+	for v := range want {
+		if int64(want[v]) != dist[v] {
+			t.Fatalf("vertex %d: BSP %d vs serial %d", v, dist[v], want[v])
+		}
+	}
+	if res.Supersteps < 2 {
+		t.Fatalf("supersteps = %d, implausibly few", res.Supersteps)
+	}
+	if res.JET <= 0 {
+		t.Fatal("JET must be positive for a multi-step run")
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	p := partition.New(2, 4)
+	p.Assign[2], p.Assign[3] = 1, 1
+	e, err := bsp.NewEngine(g, p, topology.PittCluster(1), bsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, _, err := BFS(e, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[2] != Unreached || dist[3] != Unreached {
+		t.Fatalf("unreachable vertices got %d %d", dist[2], dist[3])
+	}
+	if dist[0] != 0 || dist[1] != 1 {
+		t.Fatalf("reachable distances wrong: %d %d", dist[0], dist[1])
+	}
+}
+
+func TestBFSBadSource(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 1)
+	e := engineFor(t, g, 2)
+	if _, _, err := BFS(e, g, -1); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, _, err := SSSP(e, g, 99); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	// Weighted graph: builder merges duplicates so weights vary 1..9.
+	g := gen.RMAT(600, 2400, 0.5, 0.2, 0.2, 7)
+	e := engineFor(t, g, 6)
+	dist, _, err := SSSP(e, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.SSSPDistances(g, 1)
+	for v := range want {
+		if want[v] != dist[v] {
+			t.Fatalf("vertex %d: BSP %d vs Dijkstra %d", v, dist[v], want[v])
+		}
+	}
+}
+
+func TestSSSPWeighted(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 10)
+	b.AddWeightedEdge(0, 2, 1)
+	b.AddWeightedEdge(2, 1, 2)
+	b.AddWeightedEdge(1, 3, 1)
+	g := b.Build()
+	p := partition.New(2, 4)
+	p.Assign[1], p.Assign[3] = 1, 1
+	e, err := bsp.NewEngine(g, p, topology.PittCluster(1), bsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, _, err := SSSP(e, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 3, 1, 4}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], want[v])
+		}
+	}
+}
+
+func TestWCCMatchesComponents(t *testing.T) {
+	b := graph.NewBuilder(9)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 7)
+	g := b.Build()
+	p := stream.HP(g, 3)
+	e, err := bsp.NewEngine(g, p, topology.PittCluster(1), bsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, _, err := WCC(e, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != 0 || labels[1] != 0 || labels[2] != 0 {
+		t.Fatalf("component of 0..2 = %v", labels[:3])
+	}
+	if labels[3] != 3 || labels[4] != 3 {
+		t.Fatalf("component of 3,4 = %v", labels[3:5])
+	}
+	if labels[5] != 5 || labels[6] != 5 || labels[7] != 5 {
+		t.Fatalf("component of 5..7 = %v", labels[5:8])
+	}
+	if labels[8] != 8 {
+		t.Fatalf("isolated vertex label = %d", labels[8])
+	}
+}
+
+func TestPageRankConservesMass(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 3, 5)
+	e := engineFor(t, g, 4)
+	ranks, res, err := PageRank(e, g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supersteps != 10 {
+		t.Fatalf("supersteps = %d, want 10", res.Supersteps)
+	}
+	var sum int64
+	var max int64
+	for _, r := range ranks {
+		sum += r
+		if r > max {
+			max = r
+		}
+	}
+	// Total mass ≈ PageRankScale (integer truncation loses a little).
+	if sum < PageRankScale*80/100 || sum > PageRankScale*105/100 {
+		t.Fatalf("rank mass = %d, want ≈ %d", sum, PageRankScale)
+	}
+	// Hubs in a BA graph must outrank the average.
+	avg := sum / int64(len(ranks))
+	if max < 5*avg {
+		t.Fatalf("max rank %d not hub-like vs avg %d", max, avg)
+	}
+}
+
+func TestPageRankBadIters(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 1)
+	e := engineFor(t, g, 2)
+	if _, _, err := PageRank(e, g, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParagonPlacementBeatsDGOnJET(t *testing.T) {
+	// The Table 4 headline at reduced scale: PARAGON-refined placement
+	// must yield lower BFS JET than the raw DG decomposition on a
+	// 2-node cluster.
+	g := gen.RMAT(3000, 18000, 0.57, 0.19, 0.19, 9)
+	g.UseDegreeWeights()
+	cl := topology.PittCluster(2)
+	k := 40
+	dg := stream.DG(g, int32(k), stream.DefaultOptions())
+
+	refined := dg.Clone()
+	c, err := cl.PartitionCostMatrix(k, 1.0) // λ=1 on the Pitt-style cluster
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeOf, _ := cl.NodeOf(k)
+	if _, err := paragon.Refine(g, refined, c, paragon.Config{DRP: 8, Shuffles: 8, Seed: 3, NodeOf: nodeOf}); err != nil {
+		t.Fatal(err)
+	}
+
+	jet := func(p *partition.Partitioning) float64 {
+		e, err := bsp.NewEngine(g, p, cl, bsp.Options{MemoryContention: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, src := range []int32{0, 77, 1234} {
+			_, res, err := BFS(e, g, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.JET
+		}
+		return total
+	}
+	jDG, jPar := jet(dg), jet(refined)
+	if jPar >= jDG {
+		t.Fatalf("PARAGON placement JET %.1f not below DG %.1f", jPar, jDG)
+	}
+}
+
+// Property: BSP BFS equals the serial reference on arbitrary random
+// graphs and partitionings.
+func TestQuickBFSEquivalence(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int32(kRaw%6) + 2
+		g := gen.ErdosRenyi(150, 450, seed)
+		p := stream.HP(g, k)
+		e, err := bsp.NewEngine(g, p, topology.GordonCluster(1), bsp.Options{})
+		if err != nil {
+			return false
+		}
+		dist, _, err := BFS(e, g, 0)
+		if err != nil {
+			return false
+		}
+		want := graph.BFSLevels(g, 0)
+		for v := range want {
+			if int64(want[v]) != dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

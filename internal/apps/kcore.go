@@ -1,0 +1,146 @@
+package apps
+
+import (
+	"fmt"
+
+	"paragon/internal/bsp"
+	"paragon/internal/graph"
+)
+
+// KCore computes membership in the k-core: the maximal subgraph in which
+// every vertex has degree >= k. It runs the standard distributed peeling
+// protocol: a vertex whose surviving degree drops below k removes itself
+// and notifies its neighbors (message = 1 removal each), repeating until
+// a fixed point. Returns 1 for members, 0 otherwise.
+func KCore(e *bsp.Engine, g *graph.Graph, k int) ([]int64, bsp.Result, error) {
+	if k < 1 {
+		return nil, bsp.Result{}, fmt.Errorf("apps: KCore needs k >= 1")
+	}
+	n := g.NumVertices()
+	// survivors tracks each vertex's current surviving degree; indexed
+	// per vertex, only its own rank's goroutine touches it.
+	deg := make([]int64, n)
+	removed := make([]bool, n)
+	prog := bsp.Program{
+		Init: func(v int32) (int64, bool) {
+			deg[v] = int64(g.Degree(v))
+			return 1, true // everyone starts as a member and checks itself
+		},
+		Compute: func(v int32, value int64, msgs []int64, send func(int32, int64)) (int64, bool) {
+			if removed[v] {
+				return 0, false
+			}
+			if msgs != nil {
+				deg[v] -= msgs[0] // combined count of removed neighbors
+			}
+			if deg[v] < int64(k) {
+				removed[v] = true
+				for _, u := range g.Neighbors(v) {
+					send(u, 1)
+				}
+				return 0, false
+			}
+			return 1, false
+		},
+		Combine: func(a, b int64) int64 { return a + b },
+	}
+	res, err := e.Run(prog)
+	return res.Values, res, err
+}
+
+// KCoreSerial is the serial reference: iterative peeling.
+func KCoreSerial(g *graph.Graph, k int) []int64 {
+	n := g.NumVertices()
+	deg := make([]int64, n)
+	member := make([]int64, n)
+	queue := make([]int32, 0, 64)
+	for v := int32(0); v < n; v++ {
+		deg[v] = int64(g.Degree(v))
+		member[v] = 1
+		if deg[v] < int64(k) {
+			queue = append(queue, v)
+			member[v] = 0
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, u := range g.Neighbors(v) {
+			if member[u] == 1 {
+				deg[u]--
+				if deg[u] < int64(k) {
+					member[u] = 0
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return member
+}
+
+// TriangleCount counts the triangles of the graph with the standard
+// BSP protocol: in round one every vertex v forwards, to each neighbor u
+// with u > v, the ids of its neighbors w with w > u; in round two each
+// recipient counts the forwarded ids that are also its neighbors. The
+// total is the exact triangle count (each triangle v<u<w counted once,
+// at u). Runs without a combiner — every candidate id must arrive.
+func TriangleCount(e *bsp.Engine, g *graph.Graph) (int64, bsp.Result, error) {
+	n := g.NumVertices()
+	counts := make([]int64, n) // per vertex, own-rank access only
+	isNeighbor := func(u, w int32) bool { return g.HasEdge(u, w) }
+	prog := bsp.Program{
+		Init: func(v int32) (int64, bool) { return 0, true },
+		Compute: func(v int32, value int64, msgs []int64, send func(int32, int64)) (int64, bool) {
+			if msgs == nil {
+				// Round 1: forward wedges.
+				adj := g.Neighbors(v)
+				for i, u := range adj {
+					if u <= v {
+						continue
+					}
+					for _, w := range adj[i+1:] {
+						if w > u {
+							send(u, int64(w))
+						}
+					}
+				}
+				return 0, false
+			}
+			// Round 2: count closures.
+			for _, m := range msgs {
+				if isNeighbor(v, int32(m)) {
+					counts[v]++
+				}
+			}
+			return counts[v], false
+		},
+	}
+	res, err := e.Run(prog)
+	if err != nil {
+		return 0, res, err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total, res, nil
+}
+
+// TriangleCountSerial is the serial reference (adjacency intersection).
+func TriangleCountSerial(g *graph.Graph) int64 {
+	var total int64
+	for v := int32(0); v < g.NumVertices(); v++ {
+		adj := g.Neighbors(v)
+		for i, u := range adj {
+			if u <= v {
+				continue
+			}
+			for _, w := range adj[i+1:] {
+				if w > u && g.HasEdge(u, w) {
+					total++
+				}
+			}
+		}
+	}
+	return total
+}

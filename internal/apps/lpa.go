@@ -1,0 +1,66 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"paragon/internal/bsp"
+	"paragon/internal/graph"
+)
+
+// LabelPropagation runs synchronous label propagation (community
+// detection) for a fixed number of iterations: every vertex starts with
+// its own label and repeatedly adopts the most frequent label among its
+// neighbors (ties to the smallest label, which guarantees progress and
+// determinism). Returns the final label of every vertex.
+//
+// Unlike the min-combining apps, LPA needs the full multiset of neighbor
+// labels, so it runs without a combiner — a useful stress of the bsp
+// engine's uncombined delivery path.
+func LabelPropagation(e *bsp.Engine, g *graph.Graph, iters int) ([]int64, bsp.Result, error) {
+	if iters < 1 {
+		return nil, bsp.Result{}, fmt.Errorf("apps: LabelPropagation needs >= 1 iteration")
+	}
+	n := g.NumVertices()
+	remaining := make([]int32, n) // per-vertex, touched only by its own rank
+	for i := range remaining {
+		remaining[i] = int32(iters)
+	}
+	prog := bsp.Program{
+		Init: func(v int32) (int64, bool) { return int64(v), true },
+		Compute: func(v int32, value int64, msgs []int64, send func(int32, int64)) (int64, bool) {
+			if msgs != nil {
+				value = pluralityLabel(msgs)
+			}
+			remaining[v]--
+			if remaining[v] <= 0 {
+				return value, false
+			}
+			for _, u := range g.Neighbors(v) {
+				send(u, value)
+			}
+			return value, true
+		},
+	}
+	res, err := e.Run(prog)
+	return res.Values, res, err
+}
+
+// pluralityLabel returns the most frequent label, ties to the smallest.
+func pluralityLabel(msgs []int64) int64 {
+	sorted := append([]int64(nil), msgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	best, bestCount := sorted[0], 0
+	cur, curCount := sorted[0], 0
+	for _, m := range sorted {
+		if m == cur {
+			curCount++
+		} else {
+			cur, curCount = m, 1
+		}
+		if curCount > bestCount {
+			best, bestCount = cur, curCount
+		}
+	}
+	return best
+}

@@ -1,0 +1,88 @@
+package apps
+
+import (
+	"testing"
+
+	"paragon/internal/bsp"
+	"paragon/internal/graph"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+// twoCliques builds two size-c cliques joined by a single bridge edge.
+func twoCliques(c int32) *graph.Graph {
+	b := graph.NewBuilder(2 * c)
+	for i := int32(0); i < c; i++ {
+		for j := i + 1; j < c; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(c+i, c+j)
+		}
+	}
+	b.AddEdge(c-1, c) // bridge
+	return b.Build()
+}
+
+func TestLabelPropagationFindsCommunities(t *testing.T) {
+	g := twoCliques(8)
+	p := stream.HP(g, 4)
+	e, err := bsp.NewEngine(g, p, topology.PittCluster(1), bsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, res, err := LabelPropagation(e, g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supersteps != 8 {
+		t.Fatalf("supersteps = %d, want 8", res.Supersteps)
+	}
+	// Each clique should converge to a dominant internal label. Count
+	// the majority share per clique.
+	majority := func(ls []int64) int {
+		counts := map[int64]int{}
+		best := 0
+		for _, l := range ls {
+			counts[l]++
+			if counts[l] > best {
+				best = counts[l]
+			}
+		}
+		return best
+	}
+	if m := majority(labels[:8]); m < 7 {
+		t.Fatalf("clique 1 not converged: %v", labels[:8])
+	}
+	if m := majority(labels[8:]); m < 7 {
+		t.Fatalf("clique 2 not converged: %v", labels[8:])
+	}
+}
+
+func TestLabelPropagationBadIters(t *testing.T) {
+	g := twoCliques(3)
+	p := stream.HP(g, 2)
+	e, err := bsp.NewEngine(g, p, topology.PittCluster(1), bsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LabelPropagation(e, g, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPluralityLabel(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want int64
+	}{
+		{[]int64{3}, 3},
+		{[]int64{5, 5, 2}, 5},
+		{[]int64{2, 5, 5, 2}, 2}, // tie -> smallest
+		{[]int64{9, 1, 9, 1, 9}, 9},
+		{[]int64{4, 3, 2, 1}, 1}, // all singletons -> smallest
+	}
+	for _, tc := range cases {
+		if got := pluralityLabel(tc.in); got != tc.want {
+			t.Errorf("pluralityLabel(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

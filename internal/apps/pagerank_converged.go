@@ -1,0 +1,78 @@
+package apps
+
+import (
+	"fmt"
+
+	"paragon/internal/bsp"
+	"paragon/internal/graph"
+)
+
+// PageRankConverged runs damped PageRank until the total absolute rank
+// change per round drops below tol (in fixed-point units) or maxIters is
+// reached, using the engine's aggregator support to detect convergence
+// globally. It returns the ranks and how many iterations ran.
+func PageRankConverged(e *bsp.Engine, g *graph.Graph, tol int64, maxIters int) ([]int64, bsp.Result, error) {
+	if maxIters < 1 {
+		return nil, bsp.Result{}, fmt.Errorf("apps: PageRankConverged needs maxIters >= 1")
+	}
+	if tol < 0 {
+		return nil, bsp.Result{}, fmt.Errorf("apps: negative tolerance")
+	}
+	n := int64(g.NumVertices())
+	if n == 0 {
+		return nil, bsp.Result{}, nil
+	}
+	base := PageRankScale * 15 / (100 * n)
+	prev := make([]int64, n)      // previous value per vertex (own-rank access)
+	remaining := make([]int32, n) // iteration budget per vertex
+	for v := range prev {
+		prev[v] = PageRankScale / n
+		remaining[v] = int32(maxIters)
+	}
+	// converged is written only inside OnAggregate (at the barrier) and
+	// read by the next superstep's Compute calls — ordered, no race.
+	converged := false
+	prog := bsp.Program{
+		Init: func(v int32) (int64, bool) { return PageRankScale / n, true },
+		Compute: func(v int32, value int64, msgs []int64, send func(int32, int64)) (int64, bool) {
+			if msgs != nil {
+				var sum int64
+				for _, m := range msgs {
+					sum += m
+				}
+				value = base + sum*85/100
+			}
+			remaining[v]--
+			if converged || remaining[v] <= 0 {
+				return value, false
+			}
+			if d := int64(g.Degree(v)); d > 0 {
+				share := value / d
+				for _, u := range g.Neighbors(v) {
+					send(u, share)
+				}
+			}
+			return value, true
+		},
+		Combine: func(a, b int64) int64 { return a + b },
+		Contribute: func(v int32, value int64) int64 {
+			d := value - prev[v]
+			if d < 0 {
+				d = -d
+			}
+			prev[v] = value
+			return d
+		},
+		AggCombine: func(a, b int64) int64 { return a + b },
+		OnAggregate: func(step int, agg int64) {
+			// The first round's delta is 0 (values just initialized);
+			// require at least one propagation round before declaring
+			// convergence.
+			if step > 0 && agg <= tol {
+				converged = true
+			}
+		},
+	}
+	res, err := e.Run(prog)
+	return res.Values, res, err
+}

@@ -1,0 +1,307 @@
+// Package aragon implements ARAGON, the serial architecture-aware graph
+// partition refinement algorithm of Zheng et al. (BigGraphs'14) that
+// PARAGON parallelizes. ARAGON is a Fiduccia–Mattheyses variant operating
+// on one partition pair (Pi, Pj) at a time: it repeatedly moves the
+// vertex with maximal gain between the two partitions, where gain is the
+// reduction in architecture-aware communication plus migration cost
+// (Eq. 5 of the paper):
+//
+//	g(v) = g_std(v) + g_topo(v) + g_mig(v)
+//
+//	g_std  = α · (d_ext(v,Pj) − d_ext(v,Pi)) · c(Pi,Pj)          (Eq. 6)
+//	g_topo = α · Σ_{k≠i,j} d_ext(v,Pk) · (c(Pi,Pk) − c(Pj,Pk))   (Eq. 8)
+//	g_mig  = vs(v) · (c(Pi,Pk0) − c(Pj,Pk0)),  Pk0 = original owner (Eq. 9)
+//
+// Unlike standard FM (uniform costs), ARAGON must consider *all* boundary
+// vertices of the pair — a vertex with no neighbor in the partner
+// partition can still gain via g_topo and g_mig — and must visit all
+// n(n−1)/2 partition pairs because any pair may improve under nonuniform
+// costs.
+package aragon
+
+import (
+	"fmt"
+
+	"paragon/internal/graph"
+	"paragon/internal/partition"
+)
+
+// Config tunes the refinement.
+type Config struct {
+	// Alpha is the relative importance of communication vs. migration
+	// cost — the number of supersteps between refinements (default 10,
+	// as in the paper's evaluation).
+	Alpha float64
+	// MaxImbalance is the allowed load imbalance eps (default 0.02).
+	MaxImbalance float64
+	// BadMoveLimit stops a pair refinement after this many consecutive
+	// non-improving moves (default 64).
+	BadMoveLimit int
+}
+
+// WithDefaults fills in the paper's default parameters.
+func (c Config) WithDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 10
+	}
+	if c.MaxImbalance == 0 {
+		c.MaxImbalance = 0.02
+	}
+	if c.BadMoveLimit == 0 {
+		c.BadMoveLimit = 64
+	}
+	return c
+}
+
+// Result summarizes one refinement.
+type Result struct {
+	Moves     int     // vertices whose partition changed
+	Gain      float64 // total gain realized (cost reduction, Eq. 5 sum)
+	PairsSeen int     // partition pairs refined
+}
+
+// Gain computes Eq. 5 for moving v from its current partition to
+// partition j, given the original decomposition orig (for the migration
+// term) and the cost matrix c. Exposed for tests and for PARAGON's group
+// refinement.
+func Gain(g *graph.Graph, p *partition.Partitioning, orig []int32, v, j int32, c [][]float64, alpha float64) float64 {
+	i := p.Assign[v]
+	if i == j {
+		return 0
+	}
+	dext := partition.ExternalDegrees(g, p, v)
+	return gainFromDegrees(g, dext, orig, v, i, j, c, alpha)
+}
+
+// gainFromDegrees computes Eq. 5 given precomputed per-partition external
+// degrees for v.
+func gainFromDegrees(g *graph.Graph, dext []int64, orig []int32, v, i, j int32, c [][]float64, alpha float64) float64 {
+	// Eq. 6: impact on the (Pi, Pj) cut.
+	gStd := alpha * float64(dext[j]-dext[i]) * c[i][j]
+	// Eq. 8: impact on v's communication with every other partition.
+	var gTopo float64
+	for k := int32(0); k < int32(len(dext)); k++ {
+		if k == i || k == j || dext[k] == 0 {
+			continue
+		}
+		gTopo += float64(dext[k]) * (c[i][k] - c[j][k])
+	}
+	gTopo *= alpha
+	// Eq. 9: impact on migration cost relative to the original owner.
+	k0 := orig[v]
+	gMig := float64(g.VertexSize(v)) * (c[i][k0] - c[j][k0])
+	return gStd + gTopo + gMig
+}
+
+// RefinePair refines the pair (pi, pj) of p in place, moving vertices
+// between the two partitions while the balance bound admits it. orig is
+// the decomposition before any refinement (migration reference); loads
+// is the current per-partition weight vector, updated in place. It
+// returns the number of moves kept and the gain realized.
+func RefinePair(g *graph.Graph, p *partition.Partitioning, orig []int32, pi, pj int32, c [][]float64, loads []int64, maxLoad int64, cfg Config) Result {
+	return RefinePairAllowed(g, p, orig, pi, pj, c, loads, maxLoad, cfg, nil)
+}
+
+// RefinePairAllowed is RefinePair restricted to an explicit candidate
+// mask: only vertices v with allowed[v] may move. PARAGON uses this to
+// model the k-hop boundary shipping of §5 — a group server only holds the
+// vertices its group members shipped, so only those can migrate. A nil
+// mask admits every boundary vertex of the pair (full ARAGON behavior).
+func RefinePairAllowed(g *graph.Graph, p *partition.Partitioning, orig []int32, pi, pj int32, c [][]float64, loads []int64, maxLoad int64, cfg Config, allowed []bool) Result {
+	cfg = cfg.WithDefaults()
+	if pi == pj {
+		return Result{}
+	}
+	// Candidate set: all boundary vertices of the two partitions (see the
+	// package comment on why interior-to-pair boundary vertices count),
+	// intersected with the allowed mask when one is given.
+	var cands []int32
+	for v := int32(0); v < g.NumVertices(); v++ {
+		pv := p.Assign[v]
+		if pv != pi && pv != pj {
+			continue
+		}
+		if allowed != nil {
+			if allowed[v] {
+				cands = append(cands, v)
+			}
+			continue
+		}
+		if partition.IsBoundary(g, p, v) {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return Result{PairsSeen: 1}
+	}
+	inPair := make(map[int32]int, len(cands)) // vertex -> index in cands
+	for idx, v := range cands {
+		inPair[v] = idx
+	}
+	gains := make([]float64, len(cands))
+	moved := make([]bool, len(cands))
+	h := newFloatHeap(len(cands))
+	scratch := make([]int64, p.K) // reused across gain evaluations
+	recompute := func(idx int) {
+		v := cands[idx]
+		from := p.Assign[v]
+		to := pi
+		if from == pi {
+			to = pj
+		}
+		dext := partition.ExternalDegreesInto(g, p, v, scratch)
+		gains[idx] = gainFromDegrees(g, dext, orig, v, from, to, c, cfg.Alpha)
+	}
+	for idx := range cands {
+		recompute(idx)
+		h.push(int32(idx), gains[idx])
+	}
+
+	type moveRec struct {
+		v        int32
+		from, to int32
+	}
+	var history []moveRec
+	var prefix, best float64
+	bestLen := 0
+	bad := 0
+
+	for h.len() > 0 && bad < cfg.BadMoveLimit {
+		idx, gv, ok := h.popValid(gains, moved)
+		if !ok {
+			break
+		}
+		v := cands[idx]
+		from := p.Assign[v]
+		to := pi
+		if from == pi {
+			to = pj
+		}
+		if loads[to]+int64(g.VertexWeight(v)) > maxLoad {
+			moved[idx] = true // inadmissible for this pass
+			continue
+		}
+		p.Assign[v] = to
+		loads[from] -= int64(g.VertexWeight(v))
+		loads[to] += int64(g.VertexWeight(v))
+		moved[idx] = true
+		history = append(history, moveRec{v, from, to})
+		prefix += gv
+		if prefix > best {
+			best = prefix
+			bestLen = len(history)
+			bad = 0
+		} else {
+			bad++
+		}
+		// Re-evaluate unmoved candidate neighbors of v: their d_ext
+		// toward pi/pj changed.
+		for _, u := range g.Neighbors(v) {
+			if uidx, ok := inPair[u]; ok && !moved[uidx] {
+				recompute(uidx)
+				h.push(int32(uidx), gains[uidx])
+			}
+		}
+	}
+	// Roll back past the best prefix.
+	for i := len(history) - 1; i >= bestLen; i-- {
+		m := history[i]
+		p.Assign[m.v] = m.from
+		loads[m.to] -= int64(g.VertexWeight(m.v))
+		loads[m.from] += int64(g.VertexWeight(m.v))
+	}
+	return Result{Moves: bestLen, Gain: best, PairsSeen: 1}
+}
+
+// Refine runs full ARAGON: it applies RefinePair to every pair of the
+// n-way decomposition sequentially and returns the aggregate result. p is
+// modified in place; the original assignment is captured up front as the
+// migration reference.
+func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config) (Result, error) {
+	if err := p.Validate(g); err != nil {
+		return Result{}, fmt.Errorf("aragon: %w", err)
+	}
+	if int32(len(c)) < p.K {
+		return Result{}, fmt.Errorf("aragon: cost matrix %d×· smaller than k=%d", len(c), p.K)
+	}
+	cfg = cfg.WithDefaults()
+	orig := append([]int32(nil), p.Assign...)
+	loads := p.Weights(g)
+	maxLoad := partition.BalanceBound(g, p.K, cfg.MaxImbalance)
+	var total Result
+	for i := int32(0); i < p.K; i++ {
+		for j := i + 1; j < p.K; j++ {
+			r := RefinePair(g, p, orig, i, j, c, loads, maxLoad, cfg)
+			total.Moves += r.Moves
+			total.Gain += r.Gain
+			total.PairsSeen += r.PairsSeen
+		}
+	}
+	return total, nil
+}
+
+// floatHeap is a lazy max-heap over candidate indices keyed by float
+// gain, with stale-entry invalidation like the metis gain heap.
+type floatHeap struct {
+	idx []int32
+	g   []float64
+}
+
+func newFloatHeap(capHint int) *floatHeap {
+	return &floatHeap{idx: make([]int32, 0, capHint), g: make([]float64, 0, capHint)}
+}
+
+func (h *floatHeap) len() int { return len(h.idx) }
+
+func (h *floatHeap) push(i int32, gain float64) {
+	h.idx = append(h.idx, i)
+	h.g = append(h.g, gain)
+	c := len(h.idx) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if h.g[p] >= h.g[c] {
+			break
+		}
+		h.swap(p, c)
+		c = p
+	}
+}
+
+func (h *floatHeap) pop() (int32, float64) {
+	i, g := h.idx[0], h.g[0]
+	last := len(h.idx) - 1
+	h.idx[0], h.g[0] = h.idx[last], h.g[last]
+	h.idx, h.g = h.idx[:last], h.g[:last]
+	c := 0
+	for {
+		l, r, s := 2*c+1, 2*c+2, c
+		if l < last && h.g[l] > h.g[s] {
+			s = l
+		}
+		if r < last && h.g[r] > h.g[s] {
+			s = r
+		}
+		if s == c {
+			break
+		}
+		h.swap(c, s)
+		c = s
+	}
+	return i, g
+}
+
+func (h *floatHeap) popValid(gains []float64, moved []bool) (int32, float64, bool) {
+	for h.len() > 0 {
+		i, g := h.pop()
+		if moved[i] || gains[i] != g {
+			continue
+		}
+		return i, g, true
+	}
+	return 0, 0, false
+}
+
+func (h *floatHeap) swap(i, j int) {
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+	h.g[i], h.g[j] = h.g[j], h.g[i]
+}

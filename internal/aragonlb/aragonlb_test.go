@@ -1,0 +1,147 @@
+package aragonlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"paragon/internal/gen"
+	"paragon/internal/paragon"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+func costMatrix(k int) [][]float64 {
+	cl := topology.PittCluster(2)
+	m, err := cl.PartitionCostMatrix(k, 0)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestRepartitionRebalances(t *testing.T) {
+	g := gen.Mesh2D(24, 24)
+	g.UseDegreeWeights()
+	// Overload partition 0 with 60% of the graph.
+	p := partition.New(6, g.NumVertices())
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if int(v) < int(g.NumVertices())*6/10 {
+			p.Assign[v] = 0
+		} else {
+			p.Assign[v] = 1 + v%5
+		}
+	}
+	before := partition.Skewness(g, p)
+	st, err := Repartition(g, p, costMatrix(6), Config{MaxImbalance: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := partition.Skewness(g, p)
+	if after >= before {
+		t.Fatalf("skew not reduced: %.3f -> %.3f", before, after)
+	}
+	if after > 1.25 {
+		t.Fatalf("residual skew %.3f too high", after)
+	}
+	if st.RebalanceMoves == 0 {
+		t.Fatal("no rebalance moves recorded")
+	}
+}
+
+func TestRepartitionImprovesCommCost(t *testing.T) {
+	g := gen.RMAT(2000, 12000, 0.57, 0.19, 0.19, 3)
+	g.UseDegreeWeights()
+	k := 8
+	c := costMatrix(k)
+	p := stream.HP(g, int32(k))
+	before := partition.CommCost(g, p, c, 10)
+	orig := p.Clone()
+	st, err := Repartition(g, p, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := partition.CommCost(g, p, c, 10) + partition.MigrationCost(g, orig, p, c)
+	if after >= before {
+		t.Fatalf("objective not improved: %.0f -> %.0f", before, after)
+	}
+	if st.Gain <= 0 || st.RefineMoves == 0 {
+		t.Fatalf("refinement did nothing: %+v", st)
+	}
+}
+
+func TestShippedVolumeIsWholeGraph(t *testing.T) {
+	g := gen.ErdosRenyi(500, 2000, 5)
+	p := stream.DG(g, 4, stream.DefaultOptions())
+	st, err := Repartition(g, p, costMatrix(4), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(g.NumVertices())*12 + g.NumHalfEdges()*12
+	if st.ShippedVolume != want {
+		t.Fatalf("shipped %d, want whole graph %d", st.ShippedVolume, want)
+	}
+}
+
+func TestParagonShipsLessThanAragonLB(t *testing.T) {
+	// The headline limitation PARAGON fixes: ARAGONLB ships the whole
+	// graph to one server, PARAGON ships only (k-hop) boundary sets.
+	g := gen.Mesh2D(30, 30) // meshes have small boundaries
+	g.UseDegreeWeights()
+	k := 8
+	c := costMatrix(k)
+	initial := stream.DG(g, int32(k), stream.DefaultOptions())
+
+	pLB := initial.Clone()
+	stLB, err := Repartition(g, pLB, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPar := initial.Clone()
+	stPar, err := paragon.Refine(g, pPar, c, paragon.Config{DRP: 4, Shuffles: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PARAGON volume: shipped boundary vertices and their edge lists.
+	parBytes := stPar.BoundaryShipped*12 + stPar.ShippedEdgeVolume*12
+	if parBytes >= stLB.ShippedVolume {
+		t.Fatalf("PARAGON shipped %d, ARAGONLB %d — boundary shipping should win on a mesh",
+			parBytes, stLB.ShippedVolume)
+	}
+}
+
+func TestRepartitionErrors(t *testing.T) {
+	g := gen.ErdosRenyi(20, 40, 1)
+	bad := partition.New(4, 3)
+	if _, err := Repartition(g, bad, costMatrix(4), Config{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	p := stream.HP(g, 4)
+	if _, err := Repartition(g, p, topology.UniformMatrix(2), Config{}); err == nil {
+		t.Fatal("expected matrix-size error")
+	}
+}
+
+// Property: Repartition keeps decompositions valid and conserves weight.
+func TestQuickRepartitionValid(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int32(kRaw%6) + 2
+		g := gen.ErdosRenyi(250, 800, seed)
+		g.UseDegreeWeights()
+		p := stream.HP(g, k)
+		if _, err := Repartition(g, p, costMatrix(int(k)), Config{MaxImbalance: 0.1}); err != nil {
+			return false
+		}
+		if err := p.Validate(g); err != nil {
+			return false
+		}
+		var total int64
+		for _, w := range p.Weights(g) {
+			total += w
+		}
+		return total == g.TotalVertexWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package dyn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paragon/internal/graph"
+	"paragon/internal/partition"
+)
+
+// Edge-level dynamism: the paper's Pregel background allows vertex
+// functions to add or remove edges; between computations the
+// decomposition then degrades and a refinement should be triggered.
+// This file provides a churn generator, an applier over graph.Overlay,
+// and the trigger policy deciding when re-refinement pays off.
+
+// EdgeOp is one churn event.
+type EdgeOp struct {
+	Add     bool // false = remove
+	U, V, W int32
+}
+
+// RandomChurn generates adds+removes edge events against g: removals
+// pick existing edges uniformly; additions pick endpoint pairs with a
+// mild preference for closing triangles (friend-of-friend), the dominant
+// growth pattern of the paper's social datasets.
+func RandomChurn(g *graph.Graph, adds, removes int, seed int64) []EdgeOp {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	if n < 2 {
+		return nil
+	}
+	var ops []EdgeOp
+	for i := 0; i < removes; i++ {
+		// Uniform-ish existing edge: random vertex with degree > 0, then
+		// random incident edge.
+		for tries := 0; tries < 32; tries++ {
+			v := int32(rng.Intn(int(n)))
+			if d := g.Degree(v); d > 0 {
+				u := g.Neighbors(v)[rng.Intn(int(d))]
+				ops = append(ops, EdgeOp{Add: false, U: v, V: u})
+				break
+			}
+		}
+	}
+	for i := 0; i < adds; i++ {
+		u := int32(rng.Intn(int(n)))
+		var v int32
+		if d := g.Degree(u); d > 0 && rng.Intn(2) == 0 {
+			// Friend-of-friend: a neighbor of a neighbor.
+			w1 := g.Neighbors(u)[rng.Intn(int(d))]
+			if d2 := g.Degree(w1); d2 > 0 {
+				v = g.Neighbors(w1)[rng.Intn(int(d2))]
+			}
+		}
+		for v == u || v == 0 && rng.Intn(2) == 0 {
+			v = int32(rng.Intn(int(n)))
+		}
+		if v == u {
+			continue
+		}
+		ops = append(ops, EdgeOp{Add: true, U: u, V: v, W: 1})
+	}
+	return ops
+}
+
+// ApplyChurn applies events to an overlay, returning how many actually
+// changed the graph (removals of absent edges and invalid adds are
+// skipped).
+func ApplyChurn(o *graph.Overlay, ops []EdgeOp) int {
+	applied := 0
+	for _, op := range ops {
+		if op.Add {
+			if o.HasEdge(op.U, op.V) {
+				continue
+			}
+			if err := o.AddEdge(op.U, op.V, op.W); err == nil {
+				applied++
+			}
+		} else if o.HasEdge(op.U, op.V) {
+			o.RemoveEdge(op.U, op.V)
+			applied++
+		}
+	}
+	return applied
+}
+
+// TriggerPolicy decides when accumulated dynamism justifies running the
+// refiner again — the "injection also triggered the execution of
+// PARAGON" loop of Figure 14, made explicit.
+type TriggerPolicy struct {
+	// MaxSkew triggers when Eq. 4 skewness exceeds it (default 1.1).
+	MaxSkew float64
+	// MaxChurn triggers when changed edges exceed this fraction of the
+	// graph's edges (default 0.05).
+	MaxChurn float64
+}
+
+// DefaultTrigger returns the defaults above.
+func DefaultTrigger() TriggerPolicy { return TriggerPolicy{MaxSkew: 1.1, MaxChurn: 0.05} }
+
+// Decision explains a trigger evaluation.
+type Decision struct {
+	Refine bool
+	Reason string
+	Skew   float64
+	Churn  float64
+}
+
+// Evaluate inspects the current graph state and decomposition plus the
+// churned-edge count since the last refinement.
+func (tp TriggerPolicy) Evaluate(g *graph.Graph, p *partition.Partitioning, churnedEdges int64) Decision {
+	if tp.MaxSkew == 0 {
+		tp.MaxSkew = 1.1
+	}
+	if tp.MaxChurn == 0 {
+		tp.MaxChurn = 0.05
+	}
+	d := Decision{Skew: partition.Skewness(g, p)}
+	if m := g.NumEdges(); m > 0 {
+		d.Churn = float64(churnedEdges) / float64(m)
+	}
+	switch {
+	case d.Skew > tp.MaxSkew:
+		d.Refine = true
+		d.Reason = fmt.Sprintf("skewness %.3f exceeds %.3f", d.Skew, tp.MaxSkew)
+	case d.Churn > tp.MaxChurn:
+		d.Refine = true
+		d.Reason = fmt.Sprintf("churn %.1f%% exceeds %.1f%%", 100*d.Churn, 100*tp.MaxChurn)
+	default:
+		d.Reason = "decomposition still healthy"
+	}
+	return d
+}

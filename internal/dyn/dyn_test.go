@@ -1,0 +1,212 @@
+package dyn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"paragon/internal/gen"
+	"paragon/internal/partition"
+)
+
+func TestSnapshotsStructure(t *testing.T) {
+	g := gen.RMAT(1000, 5000, 0.57, 0.19, 0.19, 2)
+	snaps, err := Snapshots(g, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 5 {
+		t.Fatalf("snapshots = %d, want 5", len(snaps))
+	}
+	for i, s := range snaps {
+		wantN := int32(int64(g.NumVertices()) * int64(i+1) / 5)
+		if s.Graph.NumVertices() != wantN {
+			t.Fatalf("snapshot %d has %d vertices, want %d", i, s.Graph.NumVertices(), wantN)
+		}
+		if err := s.Graph.Validate(); err != nil {
+			t.Fatalf("snapshot %d invalid: %v", i, err)
+		}
+		if i > 0 {
+			if s.FirstNew != snaps[i-1].Graph.NumVertices() {
+				t.Fatalf("snapshot %d FirstNew = %d, want %d", i, s.FirstNew, snaps[i-1].Graph.NumVertices())
+			}
+			if s.Graph.NumEdges() < snaps[i-1].Graph.NumEdges() {
+				t.Fatalf("snapshot %d lost edges", i)
+			}
+		} else if s.FirstNew != 0 {
+			t.Fatalf("first snapshot FirstNew = %d", s.FirstNew)
+		}
+	}
+	last := snaps[4]
+	if last.Graph.NumVertices() != g.NumVertices() || last.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("final snapshot incomplete: %d/%d vs %d/%d",
+			last.Graph.NumVertices(), last.Graph.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestSnapshotIdentityStable(t *testing.T) {
+	// Vertex v in snapshot i must be the same original vertex in every
+	// later snapshot (prefix relabeling).
+	g := gen.ErdosRenyi(200, 600, 3)
+	snaps, err := Snapshots(g, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(snaps); i++ {
+		prev, cur := snaps[i-1], snaps[i]
+		for r := int32(0); r < prev.Graph.NumVertices(); r++ {
+			if prev.Orig[r] != cur.Orig[r] {
+				t.Fatalf("vertex %d changed identity between snapshots %d and %d", r, i-1, i)
+			}
+		}
+	}
+	// Edges of a snapshot must exist in the full graph.
+	s := snaps[1]
+	for v := int32(0); v < s.Graph.NumVertices(); v++ {
+		for _, u := range s.Graph.Neighbors(v) {
+			if !g.HasEdge(s.Orig[v], s.Orig[u]) {
+				t.Fatalf("phantom edge %d-%d in snapshot", s.Orig[v], s.Orig[u])
+			}
+		}
+	}
+}
+
+func TestSnapshotsErrors(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 1)
+	if _, err := Snapshots(g, 0, 1); err == nil {
+		t.Fatal("expected error for s=0")
+	}
+	if _, err := Snapshots(g, 11, 1); err == nil {
+		t.Fatal("expected error for s > n")
+	}
+}
+
+func TestInjectKeepsOldAssignments(t *testing.T) {
+	g := gen.RMAT(500, 2500, 0.57, 0.19, 0.19, 4)
+	snaps, err := Snapshots(g, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := Inject(snaps[0], nil, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p0.Validate(snaps[0].Graph); err != nil {
+		t.Fatalf("p0 invalid: %v", err)
+	}
+	p1, err := Inject(snaps[1], p0, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Validate(snaps[1].Graph); err != nil {
+		t.Fatalf("p1 invalid: %v", err)
+	}
+	for v := int32(0); v < snaps[1].FirstNew; v++ {
+		if p1.Assign[v] != p0.Assign[v] {
+			t.Fatalf("injection moved old vertex %d", v)
+		}
+	}
+}
+
+func TestInjectAffinityPlacement(t *testing.T) {
+	// New vertices with all placed neighbors in one partition join it
+	// when capacity allows.
+	g := gen.Mesh2D(16, 16)
+	snaps, err := Snapshots(g, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := Inject(snaps[0], nil, 4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := Inject(snaps[1], p0, 4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := snaps[1].Graph
+	matched, candidates := 0, 0
+	for v := snaps[1].FirstNew; v < g1.NumVertices(); v++ {
+		// Collect placed-neighbor partitions.
+		target := int32(-1)
+		uniform := true
+		for _, u := range g1.Neighbors(v) {
+			if u >= snaps[1].FirstNew {
+				continue
+			}
+			if target < 0 {
+				target = p0.Assign[u]
+			} else if p0.Assign[u] != target {
+				uniform = false
+			}
+		}
+		if target >= 0 && uniform {
+			candidates++
+			if p1.Assign[v] == target {
+				matched++
+			}
+		}
+	}
+	if candidates == 0 {
+		t.Skip("no uniform-neighborhood vertices in this split")
+	}
+	if float64(matched) < 0.7*float64(candidates) {
+		t.Fatalf("affinity placement matched %d of %d uniform cases", matched, candidates)
+	}
+}
+
+func TestInjectErrors(t *testing.T) {
+	g := gen.ErdosRenyi(100, 300, 6)
+	snaps, err := Snapshots(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Inject(snaps[1], nil, 4, 0.1); err == nil {
+		t.Fatal("expected missing-prev error")
+	}
+	short := partition.New(4, 3)
+	if _, err := Inject(snaps[1], short, 4, 0.1); err == nil {
+		t.Fatal("expected length error")
+	}
+	p0, _ := Inject(snaps[0], nil, 4, 0.1)
+	if _, err := Inject(snaps[1], p0, 5, 0.1); err == nil {
+		t.Fatal("expected k-change error")
+	}
+}
+
+// Property: injection always yields a valid decomposition preserving the
+// old prefix, for any snapshot count and k.
+func TestQuickInjectChain(t *testing.T) {
+	f := func(seed int64, sRaw, kRaw uint8) bool {
+		s := int(sRaw%4) + 2
+		k := int32(kRaw%6) + 2
+		g := gen.ErdosRenyi(300, 900, seed)
+		snaps, err := Snapshots(g, s, seed)
+		if err != nil {
+			return false
+		}
+		var prev *partition.Partitioning
+		for _, snap := range snaps {
+			p, err := Inject(snap, prev, k, 0.1)
+			if err != nil {
+				t.Logf("inject: %v", err)
+				return false
+			}
+			if err := p.Validate(snap.Graph); err != nil {
+				t.Logf("invalid: %v", err)
+				return false
+			}
+			if prev != nil {
+				for v := int32(0); v < snap.FirstNew; v++ {
+					if p.Assign[v] != prev.Assign[v] {
+						return false
+					}
+				}
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"paragon/internal/apps"
+	"paragon/internal/bsp"
+	"paragon/internal/dyn"
+	"paragon/internal/gen"
+	"paragon/internal/graph"
+	"paragon/internal/metis"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+)
+
+// Real-world application experiments (§7.2): BFS and SSSP on the
+// YouTube, as-skitter and com-lj stand-ins, partitioned across three
+// compute nodes of each cluster, with the overhead of each
+// repartitioner/refiner reported alongside (the parenthesized numbers of
+// Tables 4–5).
+
+// appDatasets returns the three §7.2 datasets with their message
+// grouping sizes (8 for YouTube/as-skitter, 16 for com-lj).
+func appDatasets(scale float64) []struct {
+	Name  string
+	Graph *graph.Graph
+	Group int
+} {
+	out := make([]struct {
+		Name  string
+		Graph *graph.Graph
+		Group int
+	}, 0, 3)
+	for _, spec := range []struct {
+		name  string
+		group int
+	}{{"YouTube", 8}, {"as-skitter", 8}, {"com-lj", 16}} {
+		d, err := gen.DatasetByName(spec.name)
+		if err != nil {
+			panic(err)
+		}
+		g := d.Build(scale)
+		g.UseDegreeWeights()
+		out = append(out, struct {
+			Name  string
+			Graph *graph.Graph
+			Group int
+		}{spec.name, g, spec.group})
+	}
+	return out
+}
+
+// decomposition is one algorithm's placement plus its preparation
+// overhead (refinement/repartitioning time; zero for initial
+// partitioners, matching the paper's presentation).
+type decomposition struct {
+	Algo     string
+	P        *partition.Partitioning
+	Overhead time.Duration
+}
+
+// buildDecompositions prepares the Table 4/5 algorithm lineup for one
+// dataset on one environment. Gordon omits METIS/PARMETIS exactly as the
+// paper's tables do.
+func buildDecompositions(g *graph.Graph, env Env, full bool) []decomposition {
+	k := int32(env.K)
+	dg := stream.DG(g, k, stream.DefaultOptions())
+	out := []decomposition{{Algo: "DG", P: dg}}
+	if full {
+		start := time.Now()
+		mp := metis.Partition(g, k, metis.Options{Seed: 100})
+		out = append(out, decomposition{Algo: "METIS", P: mp, Overhead: time.Since(start)})
+		pm, dt := RepartitionParMetis(g, dg.Clone(), 7)
+		out = append(out, decomposition{Algo: "PARMETIS", P: pm, Overhead: dt})
+	}
+	uni := dg.Clone()
+	stU := RefineUniParagon(g, uni, env, 8, 8, 42)
+	out = append(out, decomposition{Algo: "UNIPARAGON", P: uni, Overhead: stU.RefinementTime})
+	par := dg.Clone()
+	stP := RefineParagon(g, par, env, 8, 8, 42)
+	out = append(out, decomposition{Algo: "PARAGON", P: par, Overhead: stP.RefinementTime})
+	return out
+}
+
+// sources picks deterministic pseudo-random source vertices (the paper
+// uses 15 random sources).
+func sources(n int32, count int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(rng.Intn(int(n)))
+	}
+	return out
+}
+
+// appKind selects BFS or SSSP.
+type appKind int
+
+const (
+	appBFS appKind = iota
+	appSSSP
+)
+
+func (a appKind) String() string {
+	if a == appBFS {
+		return "BFS"
+	}
+	return "SSSP"
+}
+
+// runJob executes the app from every source and returns the summed JET
+// and accumulated volume (the paper's JET is summed over supersteps; we
+// additionally sum over the 15 sources, as its tables do).
+func runJob(kind appKind, g *graph.Graph, p *partition.Partitioning, env Env, group int, srcs []int32) (float64, bsp.VolumeBreakdown) {
+	opts := env.BSPOptions()
+	opts.MsgGroupSize = group
+	e, err := bsp.NewEngine(g, p, env.Cluster, opts)
+	if err != nil {
+		panic(fmt.Sprintf("exp: engine: %v", err))
+	}
+	var jet float64
+	var vol bsp.VolumeBreakdown
+	for _, s := range srcs {
+		var res bsp.Result
+		switch kind {
+		case appBFS:
+			_, res, err = apps.BFS(e, g, s)
+		default:
+			_, res, err = apps.SSSP(e, g, s)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("exp: %v run: %v", kind, err))
+		}
+		jet += res.JET
+		vol.IntraSocket += res.Volume.IntraSocket
+		vol.InterSocket += res.Volume.InterSocket
+		vol.InterNode += res.Volume.InterNode
+	}
+	return jet, vol
+}
+
+// jobTable regenerates Table 4 (BFS) or Table 5 (SSSP): JET per
+// algorithm per dataset on both clusters, with preparation overhead in
+// parentheses.
+func jobTable(kind appKind, id string, scale float64, nSources int) *Table {
+	tab := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("%s job execution time (model units; overhead in parens)", kind),
+		Header: []string{"cluster", "algorithm", "YouTube", "as-skitter", "com-lj"},
+		Notes:  "paper: PARAGON beats DG/PARMETIS/UNIPARAGON everywhere and METIS in 4 of 6 cases",
+	}
+	ds := appDatasets(scale)
+	for _, envSpec := range []struct {
+		env  Env
+		full bool
+	}{
+		{PittEnv(3), true},
+		{GordonEnv(3), false},
+	} {
+		env := envSpec.env
+		// Decompositions per dataset, keyed by algorithm order.
+		var algoNames []string
+		cells := map[string][]string{}
+		for _, d := range ds {
+			decs := buildDecompositions(d.Graph, env, envSpec.full)
+			srcs := sources(d.Graph.NumVertices(), nSources, 99)
+			for _, dec := range decs {
+				jet, _ := runJob(kind, d.Graph, dec.P, env, d.Group, srcs)
+				cell := f0(jet)
+				if dec.Overhead > 0 {
+					cell = fmt.Sprintf("%s (%.2fs)", cell, dec.Overhead.Seconds())
+				}
+				cells[dec.Algo] = append(cells[dec.Algo], cell)
+			}
+			if algoNames == nil {
+				for _, dec := range decs {
+					algoNames = append(algoNames, dec.Algo)
+				}
+			}
+		}
+		for _, a := range algoNames {
+			tab.Rows = append(tab.Rows, append([]string{env.Name, a}, cells[a]...))
+		}
+	}
+	return tab
+}
+
+// Table4 regenerates the BFS job-execution-time table.
+func Table4(scale float64, nSources int) *Table { return jobTable(appBFS, "table4", scale, nSources) }
+
+// Table5 regenerates the SSSP job-execution-time table.
+func Table5(scale float64, nSources int) *Table { return jobTable(appSSSP, "table5", scale, nSources) }
+
+// volumeTable regenerates Figure 12 (PittMPICluster) or Figure 13
+// (Gordon): the accumulated BFS communication-volume breakdown.
+func volumeTable(id string, env Env, full bool, scale float64, nSources int) *Table {
+	tab := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("BFS communication volume breakdown on %s (KB)", env.Name),
+		Header: []string{"dataset", "algorithm", "intra-socket", "inter-socket", "inter-node"},
+	}
+	for _, d := range appDatasets(scale) {
+		decs := buildDecompositions(d.Graph, env, full)
+		srcs := sources(d.Graph.NumVertices(), nSources, 99)
+		for _, dec := range decs {
+			_, vol := runJob(appBFS, d.Graph, dec.P, env, d.Group, srcs)
+			tab.Rows = append(tab.Rows, []string{
+				d.Name, dec.Algo,
+				f0(float64(vol.IntraSocket) / 1024),
+				f0(float64(vol.InterSocket) / 1024),
+				f0(float64(vol.InterNode) / 1024),
+			})
+		}
+	}
+	tab.Notes = "paper: PARAGON has the lowest volume on the critical component (inter-node on Gordon, intra-node on Pitt)"
+	return tab
+}
+
+// Fig12 regenerates the PittMPICluster volume breakdown.
+func Fig12(scale float64, nSources int) *Table {
+	return volumeTable("fig12", PittEnv(3), true, scale, nSources)
+}
+
+// Fig13 regenerates the Gordon volume breakdown.
+func Fig13(scale float64, nSources int) *Table {
+	return volumeTable("fig13", GordonEnv(3), false, scale, nSources)
+}
+
+// Fig14 regenerates the graph-dynamism experiment: BFS JET on five
+// growing snapshots of the YouTube stand-in, with new vertices injected
+// by DG and each algorithm adapting (or not) the decomposition.
+func Fig14(scale float64, nSources int) *Table {
+	env := PittEnv(3)
+	k := int32(env.K)
+	d, err := gen.DatasetByName("YouTube")
+	if err != nil {
+		panic(err)
+	}
+	full := d.Build(scale)
+	full.UseDegreeWeights()
+	snaps, err := dyn.Snapshots(full, 5, 5)
+	if err != nil {
+		panic(fmt.Sprintf("exp: snapshots: %v", err))
+	}
+	algos := []string{"DG", "METIS", "PARMETIS", "UNIPARAGON", "PARAGON"}
+	tab := &Table{
+		ID:     "fig14",
+		Title:  "BFS JET with graph dynamism (YouTube snapshots S1..S5, model units)",
+		Header: append([]string{"algorithm"}, "S1", "S2", "S3", "S4", "S5"),
+		Notes:  "paper: at S5 PARAGON is ~90% better than DG and ~73% better than PARMETIS",
+	}
+	// Evolving decompositions carried across snapshots per algorithm.
+	carried := map[string]*partition.Partitioning{}
+	cells := map[string][]string{}
+	for si, snap := range snaps {
+		g := snap.Graph
+		srcs := sources(g.NumVertices(), nSources, int64(200+si))
+		for _, algo := range algos {
+			// Inject new vertices into the carried decomposition.
+			injected, err := dyn.Inject(snap, carried[algo], k, 0.02)
+			if err != nil {
+				panic(fmt.Sprintf("exp: inject: %v", err))
+			}
+			cur := injected
+			switch algo {
+			case "DG":
+				// No adaptation.
+			case "METIS":
+				// Repartition the snapshot from scratch.
+				cur = metis.Partition(g, k, metis.Options{Seed: 100})
+			case "PARMETIS":
+				cur, _ = RepartitionParMetis(g, injected, 7)
+			case "UNIPARAGON":
+				RefineUniParagon(g, cur, env, 8, 8, 42)
+			case "PARAGON":
+				RefineParagon(g, cur, env, 8, 8, 42)
+			}
+			carried[algo] = cur
+			jet, _ := runJob(appBFS, g, cur, env, 8, srcs)
+			cells[algo] = append(cells[algo], f0(jet))
+		}
+	}
+	for _, algo := range algos {
+		tab.Rows = append(tab.Rows, append([]string{algo}, cells[algo]...))
+	}
+	return tab
+}

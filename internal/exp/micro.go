@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"paragon/internal/gen"
+	"paragon/internal/graph"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+)
+
+// Microbenchmarks (§7.1). The paper runs all of them on the com-lj
+// dataset partitioned into 40 parts across two 20-core PittMPICluster
+// nodes with DG as the initial partitioner. λ is 0 here: §7.1 studies
+// pure communication heterogeneity; contention enters in §7.2.
+
+func microEnv() Env {
+	env := PittEnv(2)
+	env.Lambda = 0
+	return env
+}
+
+func comLJ(scale float64) *graph.Graph {
+	d, err := gen.DatasetByName("com-lj")
+	if err != nil {
+		panic(err)
+	}
+	g := d.Build(scale)
+	g.UseDegreeWeights()
+	return g
+}
+
+// Fig7 regenerates Figures 7a and 7b: refinement time and normalized
+// communication cost of the com-lj decomposition for varying degrees of
+// refinement parallelism (shuffle refinement disabled).
+func Fig7(scale float64) (*Table, *Table) {
+	env := microEnv()
+	g := comLJ(scale)
+	initial := stream.DG(g, int32(env.K), stream.DefaultOptions())
+	c := env.PlainMatrix()
+	baseCost := partition.CommCost(g, initial, c, env.Alpha)
+
+	timeTab := &Table{
+		ID:     "fig7a",
+		Title:  "Refinement time vs degree of refinement parallelism (com-lj, 2x20 cores)",
+		Header: []string{"drp", "refinement_time"},
+	}
+	costTab := &Table{
+		ID:     "fig7b",
+		Title:  "Normalized comm cost of resulting decompositions vs drp (normalized to DG initial)",
+		Header: []string{"drp", "norm_comm_cost"},
+	}
+	for _, drp := range []int{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20} {
+		p := initial.Clone()
+		st := RefineParagon(g, p, env, drp, 0, 42)
+		cost := partition.CommCost(g, p, c, env.Alpha)
+		timeTab.Rows = append(timeTab.Rows, []string{fmt.Sprint(drp), secs(st.RefinementTime)})
+		costTab.Rows = append(costTab.Rows, []string{fmt.Sprint(drp), f2(cost / baseCost)})
+	}
+	costTab.Notes = "paper: monotone-ish rise with drp, always < 1.0 (better than initial)"
+	timeTab.Notes = "paper: time falls as drp grows; drp=1 is serial ARAGON"
+	return timeTab, costTab
+}
+
+// Fig8 regenerates Figure 8: communication cost (normalized to the
+// ARAGON result) and refinement time for varying numbers of shuffle
+// refinement rounds at drp=8.
+func Fig8(scale float64) *Table {
+	env := microEnv()
+	g := comLJ(scale)
+	initial := stream.DG(g, int32(env.K), stream.DefaultOptions())
+	c := env.PlainMatrix()
+
+	// Baseline: ARAGON = drp 1, no shuffles.
+	pa := initial.Clone()
+	stAragon := RefineParagon(g, pa, env, 1, 0, 42)
+	aragonCost := partition.CommCost(g, pa, c, env.Alpha)
+
+	tab := &Table{
+		ID:     "fig8",
+		Title:  "Shuffle refinement: comm cost normalized to ARAGON and refinement time (drp=8)",
+		Header: []string{"shuffles", "refinement_time", "norm_comm_vs_ARAGON"},
+	}
+	tab.Rows = append(tab.Rows, []string{"ARAGON", secs(stAragon.RefinementTime), "1.00"})
+	for sh := 0; sh <= 15; sh++ {
+		p := initial.Clone()
+		st := RefineParagon(g, p, env, 8, sh, 42)
+		cost := partition.CommCost(g, p, c, env.Alpha)
+		tab.Rows = append(tab.Rows, []string{fmt.Sprint(sh), secs(st.RefinementTime), f2(cost / aragonCost)})
+	}
+	tab.Notes = "paper: enough shuffles match or beat ARAGON quality at a fraction of its time"
+	return tab
+}
+
+// initialQuality holds one dataset × partitioner cell of Figures 9–11.
+type initialQuality struct {
+	comm    float64
+	after   float64
+	mig     float64
+	refTime time.Duration
+}
+
+// runInitialPartitioners computes, for each dataset and each initial
+// partitioner, the initial comm cost, the cost after PARAGON (drp=8,
+// shuffles=8), the migration cost, and the refinement time.
+func runInitialPartitioners(scale float64) ([]string, []string, map[string]map[string]initialQuality) {
+	env := microEnv()
+	c := env.PlainMatrix()
+	parts := InitialPartitioners()
+	var dsNames, pNames []string
+	for _, p := range parts {
+		pNames = append(pNames, p.Name)
+	}
+	cells := map[string]map[string]initialQuality{}
+	for _, ds := range gen.Datasets() {
+		g := ds.Build(scale)
+		g.UseDegreeWeights()
+		dsNames = append(dsNames, ds.Name)
+		cells[ds.Name] = map[string]initialQuality{}
+		for _, ip := range parts {
+			p := ip.Run(g, int32(env.K))
+			q := initialQuality{comm: partition.CommCost(g, p, c, env.Alpha)}
+			before := p.Clone()
+			st := RefineParagon(g, p, env, 8, 8, 42)
+			q.after = partition.CommCost(g, p, c, env.Alpha)
+			q.mig = partition.MigrationCost(g, before, p, c)
+			q.refTime = st.RefinementTime
+			cells[ds.Name][ip.Name] = q
+		}
+	}
+	return dsNames, pNames, cells
+}
+
+// Fig9to11 regenerates Figures 9, 10a, 10b, 11a and 11b in one sweep
+// (they share all computation): initial comm cost, refined comm cost,
+// improvement, migration cost, and refinement time for HP/DG/LDG/METIS
+// initial decompositions across the twelve datasets.
+func Fig9to11(scale float64) []*Table {
+	dsNames, pNames, cells := runInitialPartitioners(scale)
+	mk := func(id, title, unit string, get func(initialQuality) string) *Table {
+		t := &Table{ID: id, Title: title, Header: append([]string{"dataset"}, pNames...)}
+		if unit != "" {
+			t.Notes = unit
+		}
+		for _, ds := range dsNames {
+			row := []string{ds}
+			for _, pn := range pNames {
+				row = append(row, get(cells[ds][pn]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t
+	}
+	fig9 := mk("fig9", "Comm cost of initial decompositions (HP/DG/LDG/METIS, 2x20 cores)", "paper: METIS best, HP worst",
+		func(q initialQuality) string { return f0(q.comm) })
+	fig10a := mk("fig10a", "Comm cost after PARAGON refinement", "",
+		func(q initialQuality) string { return f0(q.after) })
+	fig10b := mk("fig10b", "Improvement over initial decomposition (%)", "paper: avg 43% (HP), 17% (DG), 36% (LDG)",
+		func(q initialQuality) string {
+			if q.comm == 0 {
+				return "0%"
+			}
+			return fmt.Sprintf("%.0f%%", 100*(1-q.after/q.comm))
+		})
+	fig11a := mk("fig11a", "Migration cost of the refinement", "paper: poorer initial decomposition => higher migration",
+		func(q initialQuality) string { return f0(q.mig) })
+	fig11b := mk("fig11b", "Refinement time", "",
+		func(q initialQuality) string { return secs(q.refTime) })
+	return []*Table{fig9, fig10a, fig10b, fig11a, fig11b}
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"fmt"
+
+	"paragon/internal/gen"
+	"paragon/internal/stream"
+)
+
+// Billion-edge scaling (§7.3), reproduced with the friendster-p series of
+// edge-sampled social graphs. The paper runs on three PittMPICluster
+// nodes with drp, shuffles and message grouping set to 10, 10 and 256.
+
+// Fig15and16 regenerates Figures 15 and 16: BFS JET and PARAGON
+// refinement time as the graph scale grows (p = fraction of edges kept).
+func Fig15and16(scale float64, nSources int) (*Table, *Table) {
+	env := PittEnv(3)
+	k := int32(env.K)
+	series := gen.FriendsterSeries(scale)
+	jetTab := &Table{
+		ID:     "fig15",
+		Title:  "BFS JET vs graph scale (friendster-p series, model units)",
+		Header: []string{"p", "edges", "JET_DG", "JET_PARAGON"},
+		Notes:  "paper: PARAGON lowers both the JET and its growth rate with graph size",
+	}
+	refTab := &Table{
+		ID:     "fig16",
+		Title:  "PARAGON refinement time vs graph scale",
+		Header: []string{"p", "edges", "refinement_time"},
+		Notes:  "paper: refinement time grows much more slowly than graph size",
+	}
+	for _, s := range series {
+		g := s.Graph
+		g.UseDegreeWeights()
+		dg := stream.DG(g, k, stream.DefaultOptions())
+		refined := dg.Clone()
+		st := RefineParagon(g, refined, env, 10, 10, 42)
+		srcs := sources(g.NumVertices(), nSources, 77)
+		jetDG, _ := runJob(appBFS, g, dg, env, 256, srcs)
+		jetPar, _ := runJob(appBFS, g, refined, env, 256, srcs)
+		p := fmt.Sprintf("%.2f", s.P)
+		edges := fmt.Sprint(g.NumEdges())
+		jetTab.Rows = append(jetTab.Rows, []string{p, edges, f0(jetDG), f0(jetPar)})
+		refTab.Rows = append(refTab.Rows, []string{p, edges, secs(st.RefinementTime)})
+	}
+	return jetTab, refTab
+}

@@ -1,0 +1,38 @@
+package gas_test
+
+import (
+	"fmt"
+
+	"paragon/internal/gas"
+	"paragon/internal/gen"
+	"paragon/internal/topology"
+	"paragon/internal/vertexcut"
+)
+
+// Example runs connected components over an HDRF vertex-cut assignment
+// on a modeled cluster and reports the replica-synchronization traffic.
+func Example() {
+	g := gen.Mesh2D(10, 10) // one connected component
+	a := vertexcut.HDRF(g, 8, 2)
+	engine, err := gas.NewEngine(g, a, topology.PittCluster(1), gas.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := gas.Components(engine, g)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	allZero := true
+	for _, l := range res.Values {
+		if l != 0 {
+			allZero = false
+		}
+	}
+	fmt.Println("single component found:", allZero)
+	fmt.Println("replica sync happened:", res.Messages > 0)
+	// Output:
+	// single component found: true
+	// replica sync happened: true
+}

@@ -1,0 +1,283 @@
+// Package gas is a PowerGraph-style gather–apply–scatter execution
+// simulator over vertex-cut assignments — the §8 counterpart to the bsp
+// engine. Edges live on the partition that owns them; every vertex has a
+// replica on each partition holding one of its edges, with the
+// lowest-numbered replica acting as master. Each synchronous iteration:
+//
+//	gather:  every partition folds its local edges into per-replica
+//	         partial sums;
+//	apply:   mirrors ship partials to the master (one message per
+//	         mirror), which computes the new vertex value;
+//	scatter: the master broadcasts the new value back to the mirrors.
+//
+// The simulator models time exactly like the bsp engine: per-rank
+// compute plus cost-matrix-weighted transfer of the replica
+// synchronization traffic, and accumulates the same intra-socket /
+// inter-socket / inter-node volume breakdown — demonstrating the paper's
+// §8 point that vertex-cut systems face the same communication
+// heterogeneity that PARAGON exploits.
+package gas
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"paragon/internal/bsp"
+	"paragon/internal/graph"
+	"paragon/internal/topology"
+	"paragon/internal/vertexcut"
+)
+
+// Program is a synchronous GAS vertex program over int64 values.
+type Program struct {
+	// Init sets the initial value of every vertex.
+	Init func(v int32) int64
+	// Gather produces the contribution of neighbor u (with current value
+	// uVal, over an edge of weight w) to v's accumulator.
+	Gather func(v, u int32, uVal int64, w int32) int64
+	// Sum folds two gather contributions.
+	Sum func(a, b int64) int64
+	// Apply computes v's new value from the folded sum (hasSum=false for
+	// isolated vertices) and reports whether the value changed — the
+	// convergence signal.
+	Apply func(v int32, old, sum int64, hasSum bool) (int64, bool)
+}
+
+// Options mirrors the bsp engine's cost knobs.
+type Options struct {
+	ComputePerEdge   float64 // gather work per local edge (default 0.002)
+	ComputePerVertex float64 // apply work per master vertex (default 0.02)
+	MsgGroupSize     int     // sync messages coalesced per rank pair (default 8)
+	MaxIterations    int     // safety bound (default 10000)
+}
+
+func (o Options) withDefaults() Options {
+	if o.ComputePerEdge == 0 {
+		o.ComputePerEdge = 0.002
+	}
+	if o.ComputePerVertex == 0 {
+		o.ComputePerVertex = 0.02
+	}
+	if o.MsgGroupSize <= 0 {
+		o.MsgGroupSize = 8
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 10000
+	}
+	return o
+}
+
+// Result of a GAS run.
+type Result struct {
+	Values     []int64
+	Iterations int
+	JET        float64
+	Volume     bsp.VolumeBreakdown // replica synchronization traffic
+	Messages   int64
+}
+
+// Engine binds a graph, a vertex-cut assignment, and a cluster.
+type Engine struct {
+	g    *graph.Graph
+	a    *vertexcut.Assignment
+	cl   *topology.Cluster
+	opts Options
+
+	ranks    int
+	edges    [][]edgeRec // per partition: local edges
+	replicas [][]int32   // per vertex: replica partitions, master first
+	cost     [][]float64
+	class    [][]topology.CommClass
+}
+
+type edgeRec struct {
+	u, v int32
+	w    int32
+}
+
+// NewEngine validates and indexes the assignment.
+func NewEngine(g *graph.Graph, a *vertexcut.Assignment, cl *topology.Cluster, opts Options) (*Engine, error) {
+	if a.EdgeCount() != g.NumEdges() {
+		return nil, fmt.Errorf("gas: assignment covers %d edges, graph has %d", a.EdgeCount(), g.NumEdges())
+	}
+	if int(a.K) > cl.TotalCores() {
+		return nil, fmt.Errorf("gas: %d partitions exceed %d cores of %s", a.K, cl.TotalCores(), cl.Name)
+	}
+	e := &Engine{g: g, a: a, cl: cl, opts: opts.withDefaults(), ranks: int(a.K)}
+	e.edges = make([][]edgeRec, e.ranks)
+	idx := 0
+	for v := int32(0); v < g.NumVertices(); v++ {
+		adj := g.Neighbors(v)
+		ws := g.EdgeWeights(v)
+		for i, u := range adj {
+			if v < u {
+				p := a.EdgePart[idx]
+				e.edges[p] = append(e.edges[p], edgeRec{v, u, ws[i]})
+				idx++
+			}
+		}
+	}
+	e.replicas = make([][]int32, g.NumVertices())
+	for v := int32(0); v < g.NumVertices(); v++ {
+		for p := int32(0); p < a.K; p++ {
+			if a.ReplicaCount(v) == 0 {
+				break
+			}
+			if hasReplica(a, v, p) {
+				e.replicas[v] = append(e.replicas[v], p)
+			}
+		}
+	}
+	e.cost = make([][]float64, e.ranks)
+	e.class = make([][]topology.CommClass, e.ranks)
+	for i := 0; i < e.ranks; i++ {
+		e.cost[i] = make([]float64, e.ranks)
+		e.class[i] = make([]topology.CommClass, e.ranks)
+		for j := 0; j < e.ranks; j++ {
+			e.cost[i][j] = cl.Cost(i, j)
+			e.class[i][j] = cl.Class(i, j)
+		}
+	}
+	return e, nil
+}
+
+func hasReplica(a *vertexcut.Assignment, v, p int32) bool {
+	return a.Replicas[v][p/64]&(1<<(uint(p)%64)) != 0
+}
+
+const syncBytes = 12 // 8-byte value + 4-byte vertex id per sync message
+
+// Run executes prog to convergence (no Apply reported a change) or the
+// iteration bound.
+func (e *Engine) Run(prog Program) (Result, error) {
+	if prog.Init == nil || prog.Gather == nil || prog.Sum == nil || prog.Apply == nil {
+		return Result{}, fmt.Errorf("gas: program needs Init, Gather, Sum and Apply")
+	}
+	n := e.g.NumVertices()
+	values := make([]int64, n)
+	for v := int32(0); v < n; v++ {
+		values[v] = prog.Init(v)
+	}
+	var res Result
+	type partial struct {
+		sum int64
+		ok  bool
+	}
+	for {
+		if res.Iterations >= e.opts.MaxIterations {
+			return res, fmt.Errorf("gas: exceeded %d iterations", e.opts.MaxIterations)
+		}
+		// Gather phase: each partition folds its local edges.
+		partials := make([]map[int32]partial, e.ranks)
+		var wg sync.WaitGroup
+		for r := 0; r < e.ranks; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				acc := make(map[int32]partial)
+				for _, er := range e.edges[r] {
+					gu := prog.Gather(er.u, er.v, values[er.v], er.w)
+					if p, ok := acc[er.u]; ok {
+						acc[er.u] = partial{prog.Sum(p.sum, gu), true}
+					} else {
+						acc[er.u] = partial{gu, true}
+					}
+					gv := prog.Gather(er.v, er.u, values[er.u], er.w)
+					if p, ok := acc[er.v]; ok {
+						acc[er.v] = partial{prog.Sum(p.sum, gv), true}
+					} else {
+						acc[er.v] = partial{gv, true}
+					}
+				}
+				partials[r] = acc
+			}(r)
+		}
+		wg.Wait()
+
+		// Sync accounting: every mirror's partial travels to the master;
+		// after apply, the new value travels back to each mirror. Both
+		// legs are charged per (master, mirror) rank pair.
+		msgs := make([][]int64, e.ranks) // msgs[src][dst]
+		for r := range msgs {
+			msgs[r] = make([]int64, e.ranks)
+		}
+		compute := make([]float64, e.ranks)
+		for r := 0; r < e.ranks; r++ {
+			compute[r] = e.opts.ComputePerEdge * float64(len(e.edges[r]))
+		}
+		// Apply at masters (sequential: cheap, deterministic).
+		changed := false
+		for v := int32(0); v < n; v++ {
+			reps := e.replicas[v]
+			if len(reps) == 0 {
+				// Isolated vertex: apply with no sum at a nominal rank 0.
+				nv, ch := prog.Apply(v, values[v], 0, false)
+				values[v] = nv
+				changed = changed || ch
+				continue
+			}
+			master := reps[0]
+			var sum int64
+			has := false
+			for _, p := range reps {
+				if pt, ok := partials[p][v]; ok {
+					if has {
+						sum = prog.Sum(sum, pt.sum)
+					} else {
+						sum, has = pt.sum, true
+					}
+					if p != master {
+						msgs[p][master]++ // partial to master
+					}
+				}
+			}
+			nv, ch := prog.Apply(v, values[v], sum, has)
+			compute[master] += e.opts.ComputePerVertex
+			if ch {
+				changed = true
+				for _, p := range reps[1:] {
+					msgs[master][p]++ // new value to mirror
+				}
+			}
+			values[v] = nv
+		}
+		// Convert message counts to time and volume.
+		group := float64(e.opts.MsgGroupSize)
+		send := make([]float64, e.ranks)
+		recv := make([]float64, e.ranks)
+		for srcR := 0; srcR < e.ranks; srcR++ {
+			for dst := 0; dst < e.ranks; dst++ {
+				m := msgs[srcR][dst]
+				if m == 0 || srcR == dst {
+					continue
+				}
+				t := math.Ceil(float64(m)/group) * e.cost[srcR][dst]
+				send[srcR] += t
+				recv[dst] += t
+				res.Messages += m
+				switch e.class[srcR][dst] {
+				case topology.InterNode:
+					res.Volume.InterNode += m * syncBytes
+				case topology.InterSocket:
+					res.Volume.InterSocket += m * syncBytes
+				default:
+					res.Volume.IntraSocket += m * syncBytes
+				}
+			}
+		}
+		var worst float64
+		for r := 0; r < e.ranks; r++ {
+			if t := compute[r] + send[r] + recv[r]; t > worst {
+				worst = t
+			}
+		}
+		res.JET += worst
+		res.Iterations++
+		if !changed {
+			break
+		}
+	}
+	res.Values = values
+	return res, nil
+}

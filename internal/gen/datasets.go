@@ -1,0 +1,133 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"paragon/internal/graph"
+)
+
+// Dataset is a named synthetic stand-in for one of the paper's real-world
+// datasets (Table 2). Build(scale) produces the graph at a given size
+// multiplier: scale=1 is the reproduction's standard size (roughly 10–100×
+// smaller than the paper's originals so the full suite runs on one
+// machine), smaller scales are used by unit tests and benchmarks.
+type Dataset struct {
+	Name  string // paper dataset this stands in for
+	Class string // structural class ("2D FEM", "Social Network", ...)
+	Build func(scale float64) *graph.Graph
+}
+
+// scaleN scales a vertex count, clamping at a small minimum so tiny test
+// scales still produce valid graphs.
+func scaleN(base int32, scale float64, min int32) int32 {
+	n := int32(math.Round(float64(base) * scale))
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+func scaleM(base int64, scale float64, min int64) int64 {
+	m := int64(math.Round(float64(base) * scale))
+	if m < min {
+		m = min
+	}
+	return m
+}
+
+// side returns the side length of a square grid with about base² cells
+// scaled by scale.
+func side(base int32, scale float64) int32 {
+	s := int32(math.Round(float64(base) * math.Sqrt(scale)))
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+// Datasets returns the stand-ins for the twelve datasets of Figures 9–11
+// in the paper's presentation order. Every generator is seeded by the
+// dataset name's position so results are reproducible run to run.
+func Datasets() []Dataset {
+	return []Dataset{
+		{Name: "wave", Class: "2D/3D FEM", Build: func(s float64) *graph.Graph {
+			return Mesh2D(side(110, s), side(142, s))
+		}},
+		{Name: "auto", Class: "3D FEM", Build: func(s float64) *graph.Graph {
+			k := int32(math.Round(28 * math.Cbrt(s)))
+			if k < 3 {
+				k = 3
+			}
+			return Mesh3D(k, k, k)
+		}},
+		{Name: "333SP", Class: "2D FE Triangular Mesh", Build: func(s float64) *graph.Graph {
+			return Mesh2D(side(200, s), side(300, s))
+		}},
+		{Name: "roadNet-PA", Class: "Road Network", Build: func(s float64) *graph.Graph {
+			return RoadGrid(side(170, s), side(180, s), 0.72, 0.05, 1004)
+		}},
+		{Name: "USA-road-d", Class: "Road Network", Build: func(s float64) *graph.Graph {
+			return RoadGrid(side(240, s), side(250, s), 0.70, 0.04, 1005)
+		}},
+		{Name: "CA-CondMat", Class: "Collaboration Network", Build: func(s float64) *graph.Graph {
+			return RMAT(scaleN(10800, s, 64), scaleM(37000, s, 128), 0.45, 0.22, 0.22, 1006)
+		}},
+		{Name: "com-dblp", Class: "Collaboration Network", Build: func(s float64) *graph.Graph {
+			return RMAT(scaleN(15800, s, 64), scaleM(52000, s, 128), 0.45, 0.22, 0.22, 1007)
+		}},
+		{Name: "com-amazon", Class: "Product Network", Build: func(s float64) *graph.Graph {
+			n := scaleN(16700, s, 64)
+			return WattsStrogatz(n, 3, 0.10, 1008)
+		}},
+		{Name: "Email-Enron", Class: "Communication Network", Build: func(s float64) *graph.Graph {
+			return RMAT(scaleN(3670, s, 64), scaleM(18000, s, 128), 0.57, 0.19, 0.19, 1009)
+		}},
+		{Name: "YouTube", Class: "Social Network", Build: func(s float64) *graph.Graph {
+			return RMAT(scaleN(32000, s, 64), scaleM(244000, s, 256), 0.57, 0.19, 0.19, 1010)
+		}},
+		{Name: "as-skitter", Class: "Internet Topology", Build: func(s float64) *graph.Graph {
+			n := scaleN(17000, s, 64)
+			return BarabasiAlbert(n, 13, 1011)
+		}},
+		{Name: "com-lj", Class: "Social Network", Build: func(s float64) *graph.Graph {
+			return RMAT(scaleN(40000, s, 64), scaleM(690000, s, 512), 0.57, 0.19, 0.19, 1012)
+		}},
+	}
+}
+
+// DatasetByName returns the stand-in for a paper dataset by name.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", name)
+}
+
+// FriendsterSeries returns the §7.3 scaling series: a base social graph
+// plus edge-sampled versions at keep probabilities 0.25, 0.5, 0.75 and 1.0
+// (the paper's friendster-p datasets). scale sizes the base graph.
+func FriendsterSeries(scale float64) []struct {
+	P     float64
+	Graph *graph.Graph
+} {
+	base := RMAT(scaleN(120000, scale, 256), scaleM(1200000, scale, 1024), 0.57, 0.19, 0.19, 2001)
+	ps := []float64{0.25, 0.5, 0.75, 1.0}
+	out := make([]struct {
+		P     float64
+		Graph *graph.Graph
+	}, 0, len(ps))
+	for i, p := range ps {
+		g := base
+		if p < 1.0 {
+			g = SampleEdges(base, p, 2100+int64(i))
+		}
+		out = append(out, struct {
+			P     float64
+			Graph *graph.Graph
+		}{p, g})
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable CSR Graph. Edges may
+// be added in any order and in either direction; duplicates are merged by
+// summing their weights. Self-loops are dropped. Builders are not safe for
+// concurrent use.
+type Builder struct {
+	n     int32
+	src   []int32
+	dst   []int32
+	w     []int32
+	vwgt  []int32
+	vsize []int32
+}
+
+// NewBuilder returns a builder for a graph with n vertices. All vertex
+// weights and sizes default to 1.
+func NewBuilder(n int32) *Builder {
+	b := &Builder{n: n, vwgt: make([]int32, n), vsize: make([]int32, n)}
+	for i := range b.vwgt {
+		b.vwgt[i] = 1
+		b.vsize[i] = 1
+	}
+	return b
+}
+
+// NumVertices returns the number of vertices the builder was created with.
+func (b *Builder) NumVertices() int32 { return b.n }
+
+// AddEdge records the undirected edge {u,v} with weight 1.
+func (b *Builder) AddEdge(u, v int32) { b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge records the undirected edge {u,v} with weight w.
+// Out-of-range endpoints or non-positive weights panic: they indicate a
+// programming error in the generator or loader feeding the builder.
+func (b *Builder) AddWeightedEdge(u, v, w int32) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if w <= 0 {
+		panic(fmt.Sprintf("graph: non-positive edge weight %d on (%d,%d)", w, u, v))
+	}
+	if u == v {
+		return // drop self-loops, as METIS does
+	}
+	b.src = append(b.src, u)
+	b.dst = append(b.dst, v)
+	b.w = append(b.w, w)
+}
+
+// SetVertexWeight sets w(v) for the vertex under construction.
+func (b *Builder) SetVertexWeight(v, w int32) { b.vwgt[v] = w }
+
+// SetVertexSize sets vs(v) for the vertex under construction.
+func (b *Builder) SetVertexSize(v, s int32) { b.vsize[v] = s }
+
+// Build produces the CSR graph: it symmetrizes, sorts each adjacency list,
+// and merges duplicate edges by summing weights. The builder may be reused
+// afterwards, though that is rarely useful.
+func (b *Builder) Build() *Graph {
+	n := int64(b.n)
+	// Count half-edges per vertex (each input edge contributes to both ends).
+	deg := make([]int64, n+1)
+	for i := range b.src {
+		deg[b.src[i]+1]++
+		deg[b.dst[i]+1]++
+	}
+	for v := int64(1); v <= n; v++ {
+		deg[v] += deg[v-1]
+	}
+	xadj := deg // prefix sums; deg[v] is now the start offset of v's list
+	m := int64(len(b.src)) * 2
+	adj := make([]int32, m)
+	ewgt := make([]int32, m)
+	fill := make([]int64, n)
+	for i := range b.src {
+		u, v, w := b.src[i], b.dst[i], b.w[i]
+		p := xadj[u] + fill[u]
+		adj[p], ewgt[p] = v, w
+		fill[u]++
+		p = xadj[v] + fill[v]
+		adj[p], ewgt[p] = u, w
+		fill[v]++
+	}
+	// Sort each adjacency list and merge duplicates in place.
+	outAdj := adj[:0]
+	outW := ewgt[:0]
+	newXadj := make([]int64, n+1)
+	for v := int64(0); v < n; v++ {
+		lo, hi := xadj[v], xadj[v+1]
+		sortAdj(adj[lo:hi], ewgt[lo:hi])
+		newXadj[v] = int64(len(outAdj))
+		for i := lo; i < hi; i++ {
+			if k := len(outAdj); k > int(newXadj[v]) && outAdj[k-1] == adj[i] {
+				outW[k-1] += ewgt[i] // merge duplicate edge
+			} else {
+				outAdj = append(outAdj, adj[i])
+				outW = append(outW, ewgt[i])
+			}
+		}
+	}
+	newXadj[n] = int64(len(outAdj))
+	g := &Graph{
+		xadj:  newXadj,
+		adj:   append([]int32(nil), outAdj...),
+		ewgt:  append([]int32(nil), outW...),
+		vwgt:  append([]int32(nil), b.vwgt...),
+		vsize: append([]int32(nil), b.vsize...),
+	}
+	return g
+}
+
+// sortAdj sorts the neighbor slice and keeps the weight slice parallel.
+func sortAdj(adj []int32, w []int32) {
+	if len(adj) < 2 {
+		return
+	}
+	idx := make([]int32, len(adj))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return adj[idx[a]] < adj[idx[b]] })
+	ta := make([]int32, len(adj))
+	tw := make([]int32, len(w))
+	for i, j := range idx {
+		ta[i], tw[i] = adj[j], w[j]
+	}
+	copy(adj, ta)
+	copy(w, tw)
+}
+
+// FromCSR constructs a Graph directly from raw CSR arrays. The arrays are
+// copied. It validates the result and is intended for tests and loaders
+// that already hold symmetric CSR data.
+func FromCSR(xadj []int64, adj, ewgt, vwgt, vsize []int32) (*Graph, error) {
+	g := &Graph{
+		xadj:  append([]int64(nil), xadj...),
+		adj:   append([]int32(nil), adj...),
+		ewgt:  append([]int32(nil), ewgt...),
+		vwgt:  append([]int32(nil), vwgt...),
+		vsize: append([]int32(nil), vsize...),
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

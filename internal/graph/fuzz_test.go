@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Parser fuzzing: whatever bytes arrive, the readers must either return
+// an error or a graph that passes Validate — never panic, never produce
+// a corrupt CSR.
+
+func FuzzReadMETIS(f *testing.F) {
+	f.Add("3 3\n2 3\n1 3\n1 2\n")
+	f.Add("2 1 11\n1 1 2 5\n1 1 1 5\n")
+	f.Add("% comment\n1 0\n\n")
+	f.Add("3 2 100\n7 2\n7 1 3\n7 2\n")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMETIS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v\ninput: %q", err, in)
+		}
+	})
+}
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2 3\n# c\n")
+	f.Add("100 200 5\n")
+	f.Add("a b\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v\ninput: %q", err, in)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	g := buildPaperGraph()
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PARG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a graph's structure — the numbers used to check that
+// a synthetic stand-in matches its real dataset's class (Table 2 of the
+// paper lists |V| and |E|; degree shape and clustering distinguish FEM
+// meshes from road networks from power-law graphs).
+type Stats struct {
+	Vertices    int32
+	Edges       int64
+	MinDegree   int32
+	MaxDegree   int32
+	AvgDegree   float64
+	MedDegree   int32
+	Components  int32
+	LargestComp int64
+	// ClusteringCoeff is a sampled global clustering coefficient
+	// (triangles over wedges around up to sampleCap vertices).
+	ClusteringCoeff float64
+	// DegreeSkew is max degree over average degree — >10 marks
+	// power-law-like graphs.
+	DegreeSkew float64
+}
+
+const sampleCap = 2000
+
+// ComputeStats analyzes g.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumVertices()
+	st := Stats{Vertices: n, Edges: g.NumEdges()}
+	if n == 0 {
+		return st
+	}
+	degs := make([]int32, n)
+	st.MinDegree = math.MaxInt32
+	for v := int32(0); v < n; v++ {
+		d := g.Degree(v)
+		degs[v] = d
+		if d < st.MinDegree {
+			st.MinDegree = d
+		}
+		if d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+	}
+	st.AvgDegree = g.AvgDegree()
+	sort.Slice(degs, func(i, j int) bool { return degs[i] < degs[j] })
+	st.MedDegree = degs[n/2]
+	if st.AvgDegree > 0 {
+		st.DegreeSkew = float64(st.MaxDegree) / st.AvgDegree
+	}
+	comp, k := ConnectedComponents(g)
+	st.Components = k
+	sizes := make([]int64, k)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	for _, s := range sizes {
+		if s > st.LargestComp {
+			st.LargestComp = s
+		}
+	}
+	// Sampled clustering coefficient.
+	step := n/sampleCap + 1
+	var tri, wedges int64
+	for v := int32(0); v < n; v += step {
+		adj := g.Neighbors(v)
+		d := len(adj)
+		if d < 2 {
+			continue
+		}
+		wedges += int64(d) * int64(d-1) / 2
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(adj[i], adj[j]) {
+					tri++
+				}
+			}
+		}
+	}
+	if wedges > 0 {
+		st.ClusteringCoeff = float64(tri) / float64(wedges)
+	}
+	return st
+}
+
+// String renders the stats as a small report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vertices:    %d\n", s.Vertices)
+	fmt.Fprintf(&b, "edges:       %d\n", s.Edges)
+	fmt.Fprintf(&b, "degree:      min %d / med %d / avg %.2f / max %d (skew %.1f)\n",
+		s.MinDegree, s.MedDegree, s.AvgDegree, s.MaxDegree, s.DegreeSkew)
+	fmt.Fprintf(&b, "components:  %d (largest %d)\n", s.Components, s.LargestComp)
+	fmt.Fprintf(&b, "clustering:  %.4f (sampled)", s.ClusteringCoeff)
+	return b.String()
+}

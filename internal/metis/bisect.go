@@ -1,0 +1,287 @@
+package metis
+
+import (
+	"math/rand"
+
+	"paragon/internal/graph"
+)
+
+// bisection state: side[v] ∈ {0,1}.
+
+// initialBisection produces a 2-way split of g whose side-0 weight is as
+// close as possible to target0 (a fraction of total weight), trying
+// several greedy graph-growing runs and keeping the lowest cut.
+func initialBisection(g *graph.Graph, target0 float64, rng *rand.Rand, tries int) []int8 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	var best []int8
+	bestCut := int64(-1)
+	for t := 0; t < tries; t++ {
+		side := growBisection(g, target0, rng)
+		cut := cutWeight(g, side)
+		if bestCut < 0 || cut < bestCut {
+			best, bestCut = side, cut
+		}
+	}
+	return best
+}
+
+// growBisection grows side 0 by BFS from a random seed until it holds
+// target0 of the total vertex weight; everything else is side 1.
+func growBisection(g *graph.Graph, target0 float64, rng *rand.Rand) []int8 {
+	n := g.NumVertices()
+	side := make([]int8, n)
+	for i := range side {
+		side[i] = 1
+	}
+	want := int64(target0 * float64(g.TotalVertexWeight()))
+	var got int64
+	visited := make([]bool, n)
+	queue := make([]int32, 0, 256)
+	for got < want {
+		// Pick an unvisited seed (handles disconnected graphs).
+		seed := int32(-1)
+		for tries := 0; tries < 16; tries++ {
+			c := int32(rng.Intn(int(n)))
+			if !visited[c] {
+				seed = c
+				break
+			}
+		}
+		if seed < 0 {
+			for v := int32(0); v < n; v++ {
+				if !visited[v] {
+					seed = v
+					break
+				}
+			}
+		}
+		if seed < 0 {
+			break // everything visited
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 && got < want {
+			v := queue[0]
+			queue = queue[1:]
+			side[v] = 0
+			got += int64(g.VertexWeight(v))
+			for _, u := range g.Neighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return side
+}
+
+// cutWeight returns the total weight of edges crossing the bisection.
+func cutWeight(g *graph.Graph, side []int8) int64 {
+	var cut int64
+	for v := int32(0); v < g.NumVertices(); v++ {
+		adj := g.Neighbors(v)
+		w := g.EdgeWeights(v)
+		for i, u := range adj {
+			if v < u && side[v] != side[u] {
+				cut += int64(w[i])
+			}
+		}
+	}
+	return cut
+}
+
+// sideWeights returns the vertex-weight mass of each side.
+func sideWeights(g *graph.Graph, side []int8) [2]int64 {
+	var w [2]int64
+	for v := int32(0); v < g.NumVertices(); v++ {
+		w[side[v]] += int64(g.VertexWeight(v))
+	}
+	return w
+}
+
+// fmRefine runs Fiduccia–Mattheyses passes on the bisection: repeatedly
+// move the highest-gain movable vertex (cut reduction), allow a bounded
+// number of negative-gain moves to escape local minima, and roll back to
+// the best prefix. maxW bounds each side's weight; passes bounds the
+// number of full FM passes.
+func fmRefine(g *graph.Graph, side []int8, maxW [2]int64, passes int) {
+	n := g.NumVertices()
+	if n < 2 {
+		return
+	}
+	const badMoveLimit = 64
+	gain := make([]int64, n)
+	locked := make([]bool, n)
+	w := sideWeights(g, side)
+
+	for pass := 0; pass < passes; pass++ {
+		// Compute gains for boundary-ish vertices and build the heap.
+		h := newGainHeap(int(n))
+		for v := int32(0); v < n; v++ {
+			locked[v] = false
+			gain[v] = moveGain(g, side, v)
+			if hasForeignNeighbor(g, side, v) {
+				h.push(v, gain[v])
+			}
+		}
+		type undo struct {
+			v int32
+		}
+		var history []undo
+		var prefixGain, bestGain int64
+		bestLen := 0
+		bad := 0
+		for h.len() > 0 && bad < badMoveLimit {
+			v, gv, ok := h.popValid(gain, locked)
+			if !ok {
+				break
+			}
+			from := side[v]
+			to := 1 - from
+			if w[to]+int64(g.VertexWeight(v)) > maxW[to] {
+				locked[v] = true // inadmissible this pass
+				continue
+			}
+			// Apply the move.
+			side[v] = to
+			locked[v] = true
+			w[from] -= int64(g.VertexWeight(v))
+			w[to] += int64(g.VertexWeight(v))
+			history = append(history, undo{v})
+			prefixGain += gv
+			if prefixGain > bestGain {
+				bestGain = prefixGain
+				bestLen = len(history)
+				bad = 0
+			} else {
+				bad++
+			}
+			// Update neighbor gains.
+			adj := g.Neighbors(v)
+			ew := g.EdgeWeights(v)
+			for i, u := range adj {
+				if locked[u] {
+					continue
+				}
+				// Edge weight counted twice: once for u's external/internal
+				// flip relative to v's old side, once for the new side.
+				if side[u] == from {
+					gain[u] += 2 * int64(ew[i])
+				} else {
+					gain[u] -= 2 * int64(ew[i])
+				}
+				h.push(u, gain[u])
+			}
+		}
+		// Roll back moves beyond the best prefix.
+		for i := len(history) - 1; i >= bestLen; i-- {
+			v := history[i].v
+			to := side[v]
+			from := 1 - to
+			side[v] = from
+			w[to] -= int64(g.VertexWeight(v))
+			w[from] += int64(g.VertexWeight(v))
+		}
+		if bestGain <= 0 {
+			break // pass made no progress
+		}
+	}
+}
+
+// moveGain returns the cut reduction from flipping v to the other side:
+// external degree − internal degree.
+func moveGain(g *graph.Graph, side []int8, v int32) int64 {
+	var ext, internal int64
+	adj := g.Neighbors(v)
+	w := g.EdgeWeights(v)
+	for i, u := range adj {
+		if side[u] == side[v] {
+			internal += int64(w[i])
+		} else {
+			ext += int64(w[i])
+		}
+	}
+	return ext - internal
+}
+
+func hasForeignNeighbor(g *graph.Graph, side []int8, v int32) bool {
+	for _, u := range g.Neighbors(v) {
+		if side[u] != side[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// gainHeap is a lazy max-heap of (vertex, gain) entries. Stale entries
+// (whose recorded gain no longer matches the current gain, or whose
+// vertex is locked) are discarded at pop time.
+type gainHeap struct {
+	v []int32
+	g []int64
+}
+
+func newGainHeap(capHint int) *gainHeap {
+	return &gainHeap{v: make([]int32, 0, capHint), g: make([]int64, 0, capHint)}
+}
+
+func (h *gainHeap) len() int { return len(h.v) }
+
+func (h *gainHeap) push(v int32, gain int64) {
+	h.v = append(h.v, v)
+	h.g = append(h.g, gain)
+	i := len(h.v) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.g[p] >= h.g[i] {
+			break
+		}
+		h.swap(p, i)
+		i = p
+	}
+}
+
+func (h *gainHeap) pop() (int32, int64) {
+	v, g := h.v[0], h.g[0]
+	last := len(h.v) - 1
+	h.v[0], h.g[0] = h.v[last], h.g[last]
+	h.v, h.g = h.v[:last], h.g[:last]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < last && h.g[l] > h.g[s] {
+			s = l
+		}
+		if r < last && h.g[r] > h.g[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.swap(i, s)
+		i = s
+	}
+	return v, g
+}
+
+// popValid pops until it finds an entry that is fresh (gain matches) and
+// unlocked.
+func (h *gainHeap) popValid(gain []int64, locked []bool) (int32, int64, bool) {
+	for h.len() > 0 {
+		v, g := h.pop()
+		if locked[v] || gain[v] != g {
+			continue
+		}
+		return v, g, true
+	}
+	return 0, 0, false
+}
+
+func (h *gainHeap) swap(i, j int) {
+	h.v[i], h.v[j] = h.v[j], h.v[i]
+	h.g[i], h.g[j] = h.g[j], h.g[i]
+}

@@ -1,0 +1,138 @@
+// Package metis implements a from-scratch multilevel graph partitioner in
+// the style of METIS (the paper's "gold standard" baseline): heavy-edge
+// matching coarsening, greedy graph-growing initial bisection, boundary
+// Fiduccia–Mattheyses refinement during uncoarsening, and recursive
+// bisection for k-way decompositions. It honors vertex weights (load),
+// vertex sizes, and edge weights, and enforces a configurable imbalance
+// tolerance.
+package metis
+
+import (
+	"math/rand"
+
+	"paragon/internal/graph"
+)
+
+// level is one rung of the multilevel hierarchy: the coarse graph plus
+// the mapping from the finer graph's vertices onto it.
+type level struct {
+	g    *graph.Graph
+	map_ []int32 // finer vertex -> coarse vertex; nil for the original graph
+}
+
+// coarsen builds the hierarchy from g down to a graph with at most
+// targetSize vertices (or until matching stops making progress). The
+// returned slice starts with the original graph.
+func coarsen(g *graph.Graph, targetSize int32, rng *rand.Rand) []level {
+	levels := []level{{g: g}}
+	cur := g
+	for cur.NumVertices() > targetSize {
+		match := heavyEdgeMatching(cur, rng)
+		coarse, cmap := contract(cur, match)
+		// Stop if matching no longer shrinks the graph enough (dense or
+		// star-like remainders).
+		if float64(coarse.NumVertices()) > 0.95*float64(cur.NumVertices()) {
+			break
+		}
+		levels = append(levels, level{g: coarse, map_: cmap})
+		cur = coarse
+	}
+	return levels
+}
+
+// heavyEdgeMatching visits vertices in random order and matches each
+// unmatched vertex with its unmatched neighbor of maximal edge weight
+// (ties to the lower-degree neighbor to keep coarse degrees small).
+// Unmatched leftovers are matched with themselves.
+func heavyEdgeMatching(g *graph.Graph, rng *rand.Rand) []int32 {
+	n := g.NumVertices()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(int(n))
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		adj := g.Neighbors(v)
+		w := g.EdgeWeights(v)
+		best := int32(-1)
+		bestW := int32(-1)
+		for i, u := range adj {
+			if match[u] >= 0 {
+				continue
+			}
+			if w[i] > bestW || (w[i] == bestW && best >= 0 && g.Degree(u) < g.Degree(best)) {
+				best, bestW = u, w[i]
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	return match
+}
+
+// contract merges matched pairs into coarse vertices, summing vertex
+// weights and sizes and merging parallel edges by weight. It returns the
+// coarse graph and the fine→coarse map.
+func contract(g *graph.Graph, match []int32) (*graph.Graph, []int32) {
+	n := g.NumVertices()
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	var coarseN int32
+	for v := int32(0); v < n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		u := match[v]
+		cmap[v] = coarseN
+		if u != v {
+			cmap[u] = coarseN
+		}
+		coarseN++
+	}
+	bld := graph.NewBuilder(coarseN)
+	vwgt := make([]int64, coarseN)
+	vsize := make([]int64, coarseN)
+	for v := int32(0); v < n; v++ {
+		cv := cmap[v]
+		vwgt[cv] += int64(g.VertexWeight(v))
+		vsize[cv] += int64(g.VertexSize(v))
+		adj := g.Neighbors(v)
+		w := g.EdgeWeights(v)
+		for i, u := range adj {
+			cu := cmap[u]
+			if cv < cu {
+				// Builder merges duplicates by summing, which is exactly
+				// the weight semantics of contraction. Iterating only the
+				// canonical direction (cv < cu) prevents double counting;
+				// v<u alone would miss cross pairs where cv>cu.
+				bld.AddWeightedEdge(cv, cu, w[i])
+			}
+		}
+	}
+	for cv := int32(0); cv < coarseN; cv++ {
+		bld.SetVertexWeight(cv, clampI32(vwgt[cv]))
+		bld.SetVertexSize(cv, clampI32(vsize[cv]))
+	}
+	return bld.Build(), cmap
+}
+
+func clampI32(x int64) int32 {
+	const max = int64(^uint32(0) >> 1)
+	if x > max {
+		return int32(max)
+	}
+	if x < 1 {
+		return 1
+	}
+	return int32(x)
+}

@@ -1,0 +1,114 @@
+package metis
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paragon/internal/graph"
+	"paragon/internal/partition"
+)
+
+// Options configures the multilevel partitioner.
+type Options struct {
+	// Eps is the per-partition imbalance tolerance (default 0.02, the
+	// paper's 2%).
+	Eps float64
+	// Seed drives matching and initial-bisection randomness.
+	Seed int64
+	// CoarsenTo is the coarsest-graph size per bisection (default 100).
+	CoarsenTo int32
+	// InitTries is the number of greedy-growing attempts per bisection
+	// (default 4).
+	InitTries int
+	// RefinePasses bounds FM passes per level (default 4).
+	RefinePasses int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps == 0 {
+		o.Eps = 0.02
+	}
+	if o.CoarsenTo == 0 {
+		o.CoarsenTo = 100
+	}
+	if o.InitTries == 0 {
+		o.InitTries = 4
+	}
+	if o.RefinePasses == 0 {
+		o.RefinePasses = 4
+	}
+	return o
+}
+
+// Partition computes a k-way decomposition of g by recursive multilevel
+// bisection, honoring vertex weights with imbalance tolerance opt.Eps.
+func Partition(g *graph.Graph, k int32, opt Options) *partition.Partitioning {
+	if k < 1 {
+		panic(fmt.Sprintf("metis: k = %d", k))
+	}
+	opt = opt.withDefaults()
+	p := partition.New(k, g.NumVertices())
+	if k == 1 || g.NumVertices() == 0 {
+		return p
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	verts := make([]int32, g.NumVertices())
+	for i := range verts {
+		verts[i] = int32(i)
+	}
+	recursiveBisect(g, verts, 0, k, p, opt, rng)
+	return p
+}
+
+// recursiveBisect splits the induced subgraph on verts into partitions
+// [lo, lo+k) of p.
+func recursiveBisect(g *graph.Graph, verts []int32, lo, k int32, p *partition.Partitioning, opt Options, rng *rand.Rand) {
+	if k == 1 {
+		for _, v := range verts {
+			p.Assign[v] = lo
+		}
+		return
+	}
+	k0 := k / 2
+	k1 := k - k0
+	target0 := float64(k0) / float64(k)
+	sub, orig := graph.Induced(g, verts)
+	side := multilevelBisect(sub, target0, opt, rng)
+	var verts0, verts1 []int32
+	for i, s := range side {
+		if s == 0 {
+			verts0 = append(verts0, orig[i])
+		} else {
+			verts1 = append(verts1, orig[i])
+		}
+	}
+	recursiveBisect(g, verts0, lo, k0, p, opt, rng)
+	recursiveBisect(g, verts1, lo+k0, k1, p, opt, rng)
+}
+
+// multilevelBisect coarsens, bisects the coarsest graph, and projects the
+// split back while FM-refining at every level.
+func multilevelBisect(g *graph.Graph, target0 float64, opt Options, rng *rand.Rand) []int8 {
+	levels := coarsen(g, opt.CoarsenTo, rng)
+	coarsest := levels[len(levels)-1].g
+	side := initialBisection(coarsest, target0, rng, opt.InitTries)
+	total := g.TotalVertexWeight()
+	maxW := [2]int64{
+		int64(float64(total) * target0 * (1 + opt.Eps)),
+		int64(float64(total) * (1 - target0) * (1 + opt.Eps)),
+	}
+	// Weight is conserved by contraction, so the same bounds apply at
+	// every level.
+	fmRefine(coarsest, side, maxW, opt.RefinePasses)
+	for li := len(levels) - 1; li >= 1; li-- {
+		fine := levels[li-1].g
+		cmap := levels[li].map_
+		fineSide := make([]int8, fine.NumVertices())
+		for v := range fineSide {
+			fineSide[v] = side[cmap[v]]
+		}
+		side = fineSide
+		fmRefine(fine, side, maxW, opt.RefinePasses)
+	}
+	return side
+}

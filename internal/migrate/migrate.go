@@ -1,0 +1,262 @@
+// Package migrate implements the physical data migration service of §5:
+// after a refinement changes vertex ownership, the graph data of every
+// moved vertex (adjacency, weights) must be shipped from its old server
+// to its new one. As in the paper, the service redistributes the graph
+// data itself; application data attached to vertices is the user's
+// responsibility, handled through save/restore hooks invoked around each
+// move (the paper's example: a BFS implementation must carry each
+// vertex's current distance along).
+package migrate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paragon/internal/graph"
+	"paragon/internal/partition"
+)
+
+// Move is one vertex changing owner.
+type Move struct {
+	Vertex   int32
+	From, To int32
+}
+
+// Plan is the full migration schedule derived from two decompositions.
+type Plan struct {
+	K     int32
+	Moves []Move // sorted by (From, To, Vertex)
+}
+
+// NewPlan diffs the two decompositions and returns the migration plan.
+func NewPlan(old, now *partition.Partitioning) (*Plan, error) {
+	if old.K != now.K {
+		return nil, fmt.Errorf("migrate: partition count changed %d -> %d", old.K, now.K)
+	}
+	if len(old.Assign) != len(now.Assign) {
+		return nil, fmt.Errorf("migrate: vertex count changed %d -> %d", len(old.Assign), len(now.Assign))
+	}
+	p := &Plan{K: old.K}
+	for v := range old.Assign {
+		if old.Assign[v] != now.Assign[v] {
+			p.Moves = append(p.Moves, Move{Vertex: int32(v), From: old.Assign[v], To: now.Assign[v]})
+		}
+	}
+	sort.Slice(p.Moves, func(i, j int) bool {
+		a, b := p.Moves[i], p.Moves[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Vertex < b.Vertex
+	})
+	return p, nil
+}
+
+// SendsFrom returns the moves departing a rank.
+func (p *Plan) SendsFrom(rank int32) []Move {
+	var out []Move
+	for _, m := range p.Moves {
+		if m.From == rank {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ReceivesAt returns the moves arriving at a rank.
+func (p *Plan) ReceivesAt(rank int32) []Move {
+	var out []Move
+	for _, m := range p.Moves {
+		if m.To == rank {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Volume returns the total vertex size (application data mass, Eq. 3's
+// vs(v)) moved by the plan.
+func (p *Plan) Volume(g *graph.Graph) int64 {
+	var total int64
+	for _, m := range p.Moves {
+		total += int64(g.VertexSize(m.Vertex))
+	}
+	return total
+}
+
+// Cost returns the Eq. 3 migration cost of the plan under a cost matrix.
+func (p *Plan) Cost(g *graph.Graph, c [][]float64) float64 {
+	var total float64
+	for _, m := range p.Moves {
+		total += float64(g.VertexSize(m.Vertex)) * c[m.From][m.To]
+	}
+	return total
+}
+
+// VertexData is the graph payload of one vertex held by a rank store.
+type VertexData struct {
+	Adj     []int32
+	Weights []int32
+	VWeight int32
+	VSize   int32
+	App     []byte // opaque application context (saved/restored via hooks)
+}
+
+// Store is one rank's local vertex store.
+type Store struct {
+	Rank     int32
+	Vertices map[int32]*VertexData
+}
+
+// BuildStores materializes per-rank stores from a graph and its current
+// decomposition — the state of a running computation before migration.
+func BuildStores(g *graph.Graph, p *partition.Partitioning) []*Store {
+	stores := make([]*Store, p.K)
+	for r := int32(0); r < p.K; r++ {
+		stores[r] = &Store{Rank: r, Vertices: make(map[int32]*VertexData)}
+	}
+	for v := int32(0); v < g.NumVertices(); v++ {
+		stores[p.Assign[v]].Vertices[v] = &VertexData{
+			Adj:     append([]int32(nil), g.Neighbors(v)...),
+			Weights: append([]int32(nil), g.EdgeWeights(v)...),
+			VWeight: g.VertexWeight(v),
+			VSize:   g.VertexSize(v),
+		}
+	}
+	return stores
+}
+
+// AppContext lets the application carry per-vertex state across a
+// migration, as §5 requires: Save is called on the sender before the
+// vertex departs, Restore on the receiver after it arrives. Either hook
+// may be nil.
+type AppContext struct {
+	Save    func(v int32) []byte
+	Restore func(v int32, data []byte)
+}
+
+// Stats reports what one Execute did.
+type Stats struct {
+	MovedVertices int64
+	MovedBytes    int64 // serialized payload bytes (12 bytes/edge + 8 fixed + app data)
+	PerRankSent   []int64
+	PerRankRecv   []int64
+}
+
+// Execute runs the migration: one goroutine per rank exchanges vertex
+// payloads over channels according to the plan, invoking the application
+// hooks around each move. Stores are updated in place.
+func Execute(stores []*Store, plan *Plan, ctx AppContext) (Stats, error) {
+	k := int32(len(stores))
+	if plan.K != k {
+		return Stats{}, fmt.Errorf("migrate: plan for %d ranks, %d stores", plan.K, k)
+	}
+	type parcel struct {
+		vertex int32
+		data   *VertexData
+	}
+	// Channel fabric: inbox per rank, buffered to the plan size so
+	// senders never block on slow receivers.
+	inbox := make([]chan parcel, k)
+	for r := range inbox {
+		inbox[r] = make(chan parcel, len(plan.Moves)+1)
+	}
+	stats := Stats{PerRankSent: make([]int64, k), PerRankRecv: make([]int64, k)}
+	var mu sync.Mutex
+	var firstErr error
+
+	var wg sync.WaitGroup
+	for r := int32(0); r < k; r++ {
+		wg.Add(1)
+		go func(r int32) {
+			defer wg.Done()
+			st := stores[r]
+			var sentBytes, sentCount int64
+			for _, m := range plan.SendsFrom(r) {
+				vd, ok := st.Vertices[m.Vertex]
+				if !ok {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("migrate: rank %d does not hold vertex %d", r, m.Vertex)
+					}
+					mu.Unlock()
+					continue
+				}
+				if ctx.Save != nil {
+					vd.App = ctx.Save(m.Vertex)
+				}
+				delete(st.Vertices, m.Vertex)
+				inbox[m.To] <- parcel{m.Vertex, vd}
+				sentBytes += payloadBytes(vd)
+				sentCount++
+			}
+			mu.Lock()
+			stats.PerRankSent[r] = sentCount
+			stats.MovedBytes += sentBytes
+			stats.MovedVertices += sentCount
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	// Receive phase: all sends completed, drain inboxes.
+	for r := int32(0); r < k; r++ {
+		wg.Add(1)
+		go func(r int32) {
+			defer wg.Done()
+			close(inbox[r])
+			var count int64
+			for pc := range inbox[r] {
+				stores[r].Vertices[pc.vertex] = pc.data
+				if ctx.Restore != nil {
+					ctx.Restore(pc.vertex, pc.data.App)
+				}
+				count++
+			}
+			mu.Lock()
+			stats.PerRankRecv[r] = count
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	return stats, nil
+}
+
+// payloadBytes models the wire size of a vertex payload: 12 bytes per
+// half-edge (4 id + 4 weight + 4 framing), 8 bytes of vertex attributes,
+// plus the application blob.
+func payloadBytes(vd *VertexData) int64 {
+	return int64(len(vd.Adj))*12 + 8 + int64(len(vd.App))
+}
+
+// Verify checks that the stores exactly realize the decomposition now:
+// every vertex present in precisely the store of its partition.
+func Verify(stores []*Store, g *graph.Graph, now *partition.Partitioning) error {
+	seen := make([]bool, g.NumVertices())
+	for _, st := range stores {
+		for v := range st.Vertices {
+			if v < 0 || v >= g.NumVertices() {
+				return fmt.Errorf("migrate: store %d holds out-of-range vertex %d", st.Rank, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("migrate: vertex %d present in multiple stores", v)
+			}
+			seen[v] = true
+			if now.Assign[v] != st.Rank {
+				return fmt.Errorf("migrate: vertex %d in store %d, should be %d", v, st.Rank, now.Assign[v])
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			return fmt.Errorf("migrate: vertex %d lost", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package mizan implements a Mizan-style dynamic repartitioner (Khayyat
+// et al., EuroSys'13) — the "lightweight graph repartitioners" family of
+// the paper's Figure 1 that migrates vertices based on *runtime
+// characteristics of the workload* (messages sent/received per vertex)
+// rather than graph structure. The bsp engine collects those statistics
+// when Options.TrackVertexTraffic is set.
+//
+// Strategy, following the original's spirit: identify the highest-traffic
+// vertices, and migrate each to the partition holding most of its
+// communication counterparts (its neighbors, weighted by edge weight),
+// provided balance allows — hot vertices dominate superstep time, so
+// localizing their traffic shortens the critical path. Like Mizan, and
+// unlike PARAGON, the heuristic is architecture-agnostic.
+package mizan
+
+import (
+	"fmt"
+	"sort"
+
+	"paragon/internal/graph"
+	"paragon/internal/partition"
+)
+
+// Options tunes Repartition.
+type Options struct {
+	// TopFraction is the fraction of vertices (by traffic) considered
+	// for migration (default 0.1, the hot set).
+	TopFraction float64
+	// Eps is the balance tolerance (default 0.02).
+	Eps float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopFraction == 0 {
+		o.TopFraction = 0.1
+	}
+	if o.TopFraction < 0 {
+		o.TopFraction = 0
+	}
+	if o.TopFraction > 1 {
+		o.TopFraction = 1
+	}
+	if o.Eps == 0 {
+		o.Eps = 0.02
+	}
+	return o
+}
+
+// Stats reports one repartitioning.
+type Stats struct {
+	Considered int // hot vertices examined
+	Moves      int // migrations performed
+}
+
+// Repartition migrates hot vertices of the decomposition old according
+// to the per-vertex traffic counters (as produced by
+// bsp.Result.VertexTraffic). It returns the adapted decomposition.
+func Repartition(g *graph.Graph, old *partition.Partitioning, traffic []int64, opt Options) (*partition.Partitioning, Stats, error) {
+	if err := old.Validate(g); err != nil {
+		return nil, Stats{}, fmt.Errorf("mizan: %w", err)
+	}
+	if int32(len(traffic)) != g.NumVertices() {
+		return nil, Stats{}, fmt.Errorf("mizan: %d traffic counters for %d vertices", len(traffic), g.NumVertices())
+	}
+	opt = opt.withDefaults()
+	p := old.Clone()
+	var st Stats
+
+	// Hot set: vertices by descending traffic, skipping the untouched.
+	order := make([]int32, 0, g.NumVertices())
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if traffic[v] > 0 {
+			order = append(order, v)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if traffic[order[i]] != traffic[order[j]] {
+			return traffic[order[i]] > traffic[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	hot := int(float64(len(order)) * opt.TopFraction)
+	if hot < 1 && len(order) > 0 {
+		hot = 1
+	}
+	order = order[:hot]
+
+	bound := partition.BalanceBound(g, p.K, opt.Eps)
+	load := p.Weights(g)
+	aff := make([]int64, p.K)
+	for _, v := range order {
+		st.Considered++
+		cur := p.Assign[v]
+		// Affinity: edge weight toward each partition.
+		dext := partition.ExternalDegreesInto(g, p, v, aff)
+		best := cur
+		for pi := int32(0); pi < p.K; pi++ {
+			if pi == cur {
+				continue
+			}
+			if dext[pi] > dext[best] && load[pi]+int64(g.VertexWeight(v)) <= bound {
+				best = pi
+			}
+		}
+		if best != cur && dext[best] > dext[cur] {
+			w := int64(g.VertexWeight(v))
+			load[cur] -= w
+			load[best] += w
+			p.Assign[v] = best
+			st.Moves++
+		}
+	}
+	return p, st, nil
+}

@@ -1,0 +1,132 @@
+package mizan
+
+import (
+	"testing"
+
+	"paragon/internal/apps"
+	"paragon/internal/bsp"
+	"paragon/internal/gen"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+func TestTrafficTrackingProducesCounters(t *testing.T) {
+	g := gen.RMAT(800, 4000, 0.57, 0.19, 0.19, 2)
+	p := stream.HP(g, 8)
+	e, err := bsp.NewEngine(g, p, topology.PittCluster(1), bsp.Options{TrackVertexTraffic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := apps.BFS(e, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.VertexTraffic) != int(g.NumVertices()) {
+		t.Fatalf("traffic length %d", len(res.VertexTraffic))
+	}
+	var total int64
+	for _, c := range res.VertexTraffic {
+		if c < 0 {
+			t.Fatal("negative counter")
+		}
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no traffic recorded for a BFS over a connected-ish graph")
+	}
+	// Off by default.
+	e2, err := bsp.NewEngine(g, p, topology.PittCluster(1), bsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res2, err := apps.BFS(e2, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.VertexTraffic != nil {
+		t.Fatal("tracking should be opt-in")
+	}
+}
+
+func TestRepartitionMigratesHotVertices(t *testing.T) {
+	g := gen.RMAT(2000, 12000, 0.57, 0.19, 0.19, 3)
+	g.UseDegreeWeights()
+	old := stream.HP(g, 8)
+	e, err := bsp.NewEngine(g, old, topology.PittCluster(1), bsp.Options{TrackVertexTraffic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := apps.BFS(e, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, st, err := Repartition(g, old, res.VertexTraffic, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := now.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if st.Moves == 0 {
+		t.Fatal("no hot vertex migrated from a hashed decomposition")
+	}
+	// Migrations must reduce the edge cut (hot vertices move toward
+	// their neighbors).
+	if partition.EdgeCut(g, now) >= partition.EdgeCut(g, old) {
+		t.Fatalf("cut did not improve: %d -> %d",
+			partition.EdgeCut(g, old), partition.EdgeCut(g, now))
+	}
+	// And balance must hold.
+	bound := partition.BalanceBound(g, 8, 0.02)
+	for i, w := range now.Weights(g) {
+		if w > bound {
+			t.Fatalf("partition %d weight %d above bound %d", i, w, bound)
+		}
+	}
+}
+
+func TestRepartitionErrors(t *testing.T) {
+	g := gen.ErdosRenyi(30, 60, 1)
+	bad := partition.New(4, 5)
+	if _, _, err := Repartition(g, bad, make([]int64, 30), Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	ok := stream.HP(g, 4)
+	if _, _, err := Repartition(g, ok, make([]int64, 3), Options{}); err == nil {
+		t.Fatal("expected traffic-length error")
+	}
+}
+
+func TestRepartitionNoTrafficNoMoves(t *testing.T) {
+	g := gen.ErdosRenyi(100, 300, 2)
+	old := stream.HP(g, 4)
+	now, st, err := Repartition(g, old, make([]int64, g.NumVertices()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Moves != 0 || st.Considered != 0 {
+		t.Fatalf("moves without traffic: %+v", st)
+	}
+	for v := range old.Assign {
+		if now.Assign[v] != old.Assign[v] {
+			t.Fatal("assignment changed without traffic")
+		}
+	}
+}
+
+func TestTopFractionClamps(t *testing.T) {
+	g := gen.ErdosRenyi(100, 300, 3)
+	old := stream.HP(g, 4)
+	traffic := make([]int64, g.NumVertices())
+	for i := range traffic {
+		traffic[i] = int64(i)
+	}
+	_, st, err := Repartition(g, old, traffic, Options{TopFraction: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Considered != 99 { // vertex 0 has zero traffic
+		t.Fatalf("considered %d, want 99 at fraction 1.0", st.Considered)
+	}
+}

@@ -1,0 +1,330 @@
+// Package paragon implements PARAGON, the parallel architecture-aware
+// graph partition refinement algorithm of Zheng et al. (EDBT 2016) — the
+// paper's core contribution.
+//
+// PARAGON parallelizes the serial ARAGON refiner by splitting the n
+// partitions of a decomposition into drp groups, refining every partition
+// pair inside each group concurrently on a dedicated group server, and
+// recovering the quality lost to grouping with rounds of shuffle
+// refinement that exchange decomposition changes and swap partitions
+// between groups (Algorithm 1). It is itself architecture-aware: the
+// master node is chosen to minimize auxiliary traffic (Eq. 11) and group
+// servers are chosen to minimize the cost of shipping their group's
+// boundary vertices (Eq. 10), with a penalty that spreads group servers
+// across compute nodes. Communication volume is reduced by shipping only
+// vertices within k hops of a partition boundary (k = 0 by default).
+//
+// Shared-resource contention (§6) enters through the cost matrix: build
+// it with topology.(*Cluster).PartitionCostMatrix(k, λ), which applies
+// the Eq. 12 intra-node penalty before refinement begins.
+package paragon
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"paragon/internal/aragon"
+	"paragon/internal/graph"
+	"paragon/internal/partition"
+)
+
+// Config tunes PARAGON. The zero value picks the paper's defaults.
+type Config struct {
+	// DRP is the degree of refinement parallelism: the number of
+	// partition groups refined concurrently. 1 degenerates to serial
+	// ARAGON; the maximum useful value is K/2 (each group needs at least
+	// two partitions). Values outside [1, K/2] are clamped. Default 8.
+	DRP int
+	// Shuffles is the number of shuffle-refinement rounds after the
+	// initial round. Zero means no shuffle refinement; DefaultConfig
+	// uses 8, the paper's microbenchmark setting.
+	Shuffles int
+	// KHop is the boundary-expansion radius for the communication-volume
+	// reduction of §5: only vertices within KHop hops of a partition
+	// boundary are shipped to (and movable by) group servers. Default 0
+	// (boundary vertices only), the paper's default.
+	KHop int
+	// Alpha is the communication-vs-migration weight of Eq. 2 (default
+	// 10, the paper's evaluation setting).
+	Alpha float64
+	// MaxImbalance is the allowed skew tolerance (default 0.02).
+	MaxImbalance float64
+	// Seed drives grouping and shuffling; a fixed seed makes the whole
+	// refinement deterministic.
+	Seed int64
+	// BadMoveLimit bounds non-improving moves per pair (default 64).
+	BadMoveLimit int
+	// NodeOf optionally maps each server (partition index) to its
+	// compute node, enabling Eq. 10's σ(s) group-server spreading
+	// penalty and the region-exchange accounting. Nil treats every
+	// server as its own node.
+	NodeOf []int
+	// RegionSize overrides the location-exchange region size of §5
+	// (default min(2^26, |V|)).
+	RegionSize int64
+}
+
+// DefaultConfig returns the paper's evaluation defaults: drp = 8, eight
+// shuffle rounds, k-hop 0, α = 10, 2% imbalance.
+func DefaultConfig() Config {
+	return Config{DRP: 8, Shuffles: 8, Alpha: 10, MaxImbalance: 0.02, BadMoveLimit: 64}
+}
+
+func (c Config) withDefaults(k int32) Config {
+	if c.DRP == 0 {
+		c.DRP = 8
+	}
+	maxDRP := int(k) / 2
+	if maxDRP < 1 {
+		maxDRP = 1
+	}
+	if c.DRP > maxDRP {
+		c.DRP = maxDRP
+	}
+	if c.DRP < 1 {
+		c.DRP = 1
+	}
+	if c.Shuffles < 0 {
+		c.Shuffles = 0
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 10
+	}
+	if c.MaxImbalance == 0 {
+		c.MaxImbalance = 0.02
+	}
+	if c.BadMoveLimit == 0 {
+		c.BadMoveLimit = 64
+	}
+	return c
+}
+
+func (c Config) aragonConfig() aragon.Config {
+	return aragon.Config{
+		Alpha:        c.Alpha,
+		MaxImbalance: c.MaxImbalance,
+		BadMoveLimit: c.BadMoveLimit,
+	}
+}
+
+// Stats reports what one Refine call did, including the simulated
+// communication volumes that Figures 15–16 track.
+type Stats struct {
+	Master       int32     // server selected by Eq. 11
+	DRP          int       // effective degree of parallelism
+	Rounds       int       // refinement rounds (1 + shuffles)
+	GroupServers [][]int32 // per round, the server chosen for each group
+
+	PairsRefined int       // partition pairs refined across all rounds
+	Moves        int       // vertex moves kept
+	Gain         float64   // total Eq. 5 gain realized
+	RoundGains   []float64 // gain realized per refinement round
+
+	BoundaryShipped       int64 // vertices shipped to group servers (all rounds)
+	ShippedEdgeVolume     int64 // half-edges accompanying shipped vertices
+	LocationExchangeBytes int64 // shuffle location-exchange traffic
+	ExchangeRegions       int   // chunked exchange rounds per shuffle
+
+	MigratedVertices int64         // vertices whose final owner changed
+	MigrationCost    float64       // Eq. 3 against the input decomposition
+	RefinementTime   time.Duration // wall clock of the whole refinement
+}
+
+// Refine improves the decomposition p of g in place against the relative
+// cost matrix c (k×k, as produced by topology.PartitionCostMatrix) and
+// returns statistics. The input decomposition is used as the migration
+// reference of Eq. 9.
+func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config) (Stats, error) {
+	start := time.Now()
+	if err := p.Validate(g); err != nil {
+		return Stats{}, fmt.Errorf("paragon: %w", err)
+	}
+	if int32(len(c)) < p.K {
+		return Stats{}, fmt.Errorf("paragon: cost matrix %d×· smaller than k=%d", len(c), p.K)
+	}
+	if cfg.NodeOf != nil && int32(len(cfg.NodeOf)) < p.K {
+		return Stats{}, fmt.Errorf("paragon: NodeOf has %d entries for k=%d", len(cfg.NodeOf), p.K)
+	}
+	cfg = cfg.withDefaults(p.K)
+	k := p.K
+
+	var st Stats
+	st.DRP = cfg.DRP
+	st.Master = selectMaster(k, c)
+
+	if k < 2 {
+		st.RefinementTime = time.Since(start)
+		return st, nil
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	orig := append([]int32(nil), p.Assign...)
+	loads := p.Weights(g)
+	maxLoad := partition.BalanceBound(g, k, cfg.MaxImbalance)
+
+	regionSize := cfg.RegionSize
+	if regionSize <= 0 {
+		regionSize = int64(1) << 26
+	}
+	if n := int64(g.NumVertices()); regionSize > n && n > 0 {
+		regionSize = n
+	}
+	st.ExchangeRegions = int((int64(g.NumVertices()) + regionSize - 1) / regionSize)
+
+	groups := randomGrouping(k, cfg.DRP, rng)
+	st.Rounds = 1 + cfg.Shuffles
+	for round := 0; round < st.Rounds; round++ {
+		// Group-server selection (Eq. 10) with fresh partition stats.
+		ps := p.IncidentEdges(g)
+		servers := SelectGroupServers(groups, ps, c, cfg.NodeOf, cfg.DRP)
+		st.GroupServers = append(st.GroupServers, servers)
+
+		// Volume accounting: every member partition ships its k-hop
+		// boundary set to the group server (the server's own partition
+		// stays put).
+		allowed := allowedMask(g, p, groups, cfg.KHop)
+		for gi, grp := range groups {
+			for _, pi := range grp {
+				if pi == servers[gi] {
+					continue
+				}
+				for v := int32(0); v < g.NumVertices(); v++ {
+					if p.Assign[v] == pi && allowed[v] {
+						st.BoundaryShipped++
+						st.ShippedEdgeVolume += int64(g.Degree(v))
+					}
+				}
+			}
+		}
+
+		// Parallel group refinement against a shared snapshot: each
+		// group server refines its pairs on a private copy of the
+		// locations, exactly as the real system refines the vertices it
+		// received; changes propagate at the end-of-round exchange.
+		snapshot := append([]int32(nil), p.Assign...)
+		results := make([]groupOutcome, len(groups))
+		var wg sync.WaitGroup
+		for gi := range groups {
+			wg.Add(1)
+			go func(gi int) {
+				defer wg.Done()
+				results[gi] = refineGroup(g, snapshot, orig, groups[gi], c, loads, maxLoad, cfg, allowed)
+			}(gi)
+		}
+		wg.Wait()
+
+		// Exchange phase: apply every group's moves. Groups own disjoint
+		// partitions, so their move sets are disjoint by construction.
+		var roundGain float64
+		for _, r := range results {
+			st.PairsRefined += r.pairs
+			st.Moves += r.result.Moves
+			st.Gain += r.result.Gain
+			roundGain += r.result.Gain
+			for _, mv := range r.moves {
+				from := p.Assign[mv.v]
+				p.Assign[mv.v] = mv.to
+				w := int64(g.VertexWeight(mv.v))
+				loads[from] -= w
+				loads[mv.to] += w
+			}
+		}
+
+		st.RoundGains = append(st.RoundGains, roundGain)
+
+		if round+1 < st.Rounds {
+			// The chunked location exchange of §5: every group server
+			// learns the up-to-date location of all vertices, region by
+			// region — O(|V|) traffic per shuffle (4 bytes per entry).
+			st.LocationExchangeBytes += int64(g.NumVertices()) * 4
+			shuffleGroups(groups, rng, round)
+		}
+	}
+
+	// Final bookkeeping: physical data migration plan vs. the input.
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if p.Assign[v] != orig[v] {
+			st.MigratedVertices++
+			st.MigrationCost += float64(g.VertexSize(v)) * c[orig[v]][p.Assign[v]]
+		}
+	}
+	st.RefinementTime = time.Since(start)
+	return st, nil
+}
+
+// RefineUniform runs PARAGON with a uniform cost matrix — the
+// UNIPARAGON baseline of §7.2 that assumes a homogeneous, contention-free
+// environment.
+func RefineUniform(g *graph.Graph, p *partition.Partitioning, cfg Config) (Stats, error) {
+	k := int(p.K)
+	c := make([][]float64, k)
+	for i := range c {
+		c[i] = make([]float64, k)
+		for j := range c[i] {
+			if i != j {
+				c[i][j] = 1
+			}
+		}
+	}
+	return Refine(g, p, c, cfg)
+}
+
+type move struct {
+	v  int32
+	to int32
+}
+
+type groupOutcome struct {
+	moves  []move
+	result aragon.Result
+	pairs  int
+}
+
+// refineGroup is the per-group-server work: refine all pairs of the
+// group against a private view of the snapshot.
+func refineGroup(g *graph.Graph, snapshot, orig []int32, group []int32, c [][]float64, globalLoads []int64, maxLoad int64, cfg Config, allowed []bool) groupOutcome {
+	view := &partition.Partitioning{K: int32(len(c)), Assign: append([]int32(nil), snapshot...)}
+	loads := append([]int64(nil), globalLoads...)
+	acfg := cfg.aragonConfig()
+	var out groupOutcome
+	for i := 0; i < len(group); i++ {
+		for j := i + 1; j < len(group); j++ {
+			r := aragon.RefinePairAllowed(g, view, orig, group[i], group[j], c, loads, maxLoad, acfg, allowed)
+			out.result.Moves += r.Moves
+			out.result.Gain += r.Gain
+			out.pairs++
+		}
+	}
+	for v := int32(0); v < int32(len(snapshot)); v++ {
+		if view.Assign[v] != snapshot[v] {
+			out.moves = append(out.moves, move{v, view.Assign[v]})
+		}
+	}
+	return out
+}
+
+// allowedMask returns the movable-vertex mask of §5: vertices within
+// cfg.KHop hops of any partition boundary. With k=0 this is exactly the
+// boundary vertex set.
+func allowedMask(g *graph.Graph, p *partition.Partitioning, groups [][]int32, kHop int) []bool {
+	n := g.NumVertices()
+	mask := make([]bool, n)
+	var seeds []int32
+	for v := int32(0); v < n; v++ {
+		if partition.IsBoundary(g, p, v) {
+			seeds = append(seeds, v)
+		}
+	}
+	if kHop <= 0 {
+		for _, v := range seeds {
+			mask[v] = true
+		}
+		return mask
+	}
+	for _, v := range graph.ExpandFrontier(g, seeds, kHop) {
+		mask[v] = true
+	}
+	return mask
+}

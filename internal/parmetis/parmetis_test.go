@@ -1,0 +1,199 @@
+package parmetis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paragon/internal/gen"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+func TestScratchRemapReducesMigrationVsFresh(t *testing.T) {
+	g := gen.Mesh2D(30, 30)
+	g.UseDegreeWeights()
+	old := stream.DG(g, 8, stream.DefaultOptions())
+	newP, err := Repartition(g, old, Options{Method: ScratchRemap, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newP.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	c := topology.UniformMatrix(8)
+	mig := partition.MigrationCost(g, old, newP, c)
+	// Worst case: an adversarial relabel would migrate nearly everything.
+	var total float64
+	for v := int32(0); v < g.NumVertices(); v++ {
+		total += float64(g.VertexSize(v))
+	}
+	if mig >= total {
+		t.Fatalf("remap migrated everything: %v of %v", mig, total)
+	}
+}
+
+func TestScratchRemapLabelMatching(t *testing.T) {
+	// If old is already a fine partitioning, scratch-remap should keep
+	// most vertices in place: relabeling must track the old labels.
+	g := gen.Mesh2D(24, 24)
+	old, err := Repartition(g, stream.DG(g, 4, stream.DefaultOptions()), Options{Method: ScratchRemap, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Repartition(g, old, Options{Method: ScratchRemap, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for v := range old.Assign {
+		if old.Assign[v] == again.Assign[v] {
+			same++
+		}
+	}
+	if float64(same) < 0.5*float64(len(old.Assign)) {
+		t.Fatalf("only %d/%d vertices stayed put after remap", same, len(old.Assign))
+	}
+}
+
+func TestGreedyAssignmentPrefersBigOverlap(t *testing.T) {
+	overlap := [][]int64{
+		{10, 0, 90},
+		{80, 5, 0},
+		{0, 70, 0},
+	}
+	relabel := greedyAssignment(overlap)
+	want := []int32{2, 0, 1}
+	for i := range want {
+		if relabel[i] != want[i] {
+			t.Fatalf("relabel = %v, want %v", relabel, want)
+		}
+	}
+}
+
+func TestGreedyAssignmentHandlesEmptyRows(t *testing.T) {
+	overlap := [][]int64{
+		{0, 0},
+		{0, 0},
+	}
+	relabel := greedyAssignment(overlap)
+	seen := map[int32]bool{}
+	for _, r := range relabel {
+		if r < 0 || r > 1 || seen[r] {
+			t.Fatalf("relabel = %v not a permutation", relabel)
+		}
+		seen[r] = true
+	}
+}
+
+func TestDiffusionRestoresBalance(t *testing.T) {
+	g := gen.Mesh2D(30, 30)
+	// Badly imbalanced start: everything in partition 0.
+	old := partition.New(4, g.NumVertices())
+	newP, err := Repartition(g, old, Options{Method: Diffusion, Eps: 0.10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newP.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	before := partition.Skewness(g, old)
+	after := partition.Skewness(g, newP)
+	if after >= before {
+		t.Fatalf("diffusion did not reduce skew: %.2f -> %.2f", before, after)
+	}
+	if after > 1.25 {
+		t.Fatalf("diffusion left skew %.3f above tolerance", after)
+	}
+}
+
+func TestDiffusionImprovesCutOfNoisyPartitioning(t *testing.T) {
+	g := gen.Mesh2D(24, 24)
+	good := stream.DG(g, 4, stream.DefaultOptions())
+	// Perturb 20% of assignments.
+	rng := rand.New(rand.NewSource(3))
+	noisy := good.Clone()
+	for v := range noisy.Assign {
+		if rng.Float64() < 0.2 {
+			noisy.Assign[v] = int32(rng.Intn(4))
+		}
+	}
+	refined, err := Repartition(g, noisy, Options{Method: Diffusion, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partition.EdgeCut(g, refined) >= partition.EdgeCut(g, noisy) {
+		t.Fatalf("diffusion refinement did not reduce cut: %d -> %d",
+			partition.EdgeCut(g, noisy), partition.EdgeCut(g, refined))
+	}
+}
+
+func TestDiffusionKeepsMigrationLow(t *testing.T) {
+	// The whole point of adaptive repartitioning: when the decomposition
+	// is only slightly off, it must migrate far less than scratch-remap's
+	// worst case.
+	g := gen.Mesh2D(30, 30)
+	good := stream.DG(g, 6, stream.DefaultOptions())
+	rng := rand.New(rand.NewSource(5))
+	noisy := good.Clone()
+	for v := range noisy.Assign {
+		if rng.Float64() < 0.05 {
+			noisy.Assign[v] = int32(rng.Intn(6))
+		}
+	}
+	refined, err := Repartition(g, noisy, Options{Method: Diffusion, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := topology.UniformMatrix(6)
+	mig := partition.MigrationCost(g, noisy, refined, c)
+	var total float64
+	for v := int32(0); v < g.NumVertices(); v++ {
+		total += float64(g.VertexSize(v))
+	}
+	if mig > total/2 {
+		t.Fatalf("diffusion migrated %v of %v total size", mig, total)
+	}
+}
+
+func TestRepartitionErrors(t *testing.T) {
+	g := gen.ErdosRenyi(20, 40, 1)
+	bad := partition.New(2, 5) // wrong length
+	if _, err := Repartition(g, bad, Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	ok := partition.New(2, g.NumVertices())
+	if _, err := Repartition(g, ok, Options{Method: Method(99)}); err == nil {
+		t.Fatal("expected unknown-method error")
+	}
+}
+
+// Property: both methods always return valid decompositions that keep
+// every vertex assigned and conserve total weight.
+func TestQuickRepartitionValid(t *testing.T) {
+	f := func(seed int64, m bool) bool {
+		g := gen.ErdosRenyi(300, 900, seed)
+		k := int32(4)
+		old := stream.HP(g, k)
+		method := ScratchRemap
+		if m {
+			method = Diffusion
+		}
+		newP, err := Repartition(g, old, Options{Method: method, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if err := newP.Validate(g); err != nil {
+			return false
+		}
+		var total int64
+		for _, w := range newP.Weights(g) {
+			total += w
+		}
+		return total == g.TotalVertexWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 14}); err != nil {
+		t.Fatal(err)
+	}
+}

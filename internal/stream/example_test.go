@@ -1,0 +1,28 @@
+package stream_test
+
+import (
+	"fmt"
+
+	"paragon/internal/gen"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+// Example compares the three §7 initial partitioners on a mesh: greedy
+// streaming beats hashing on edge cut, and LDG stays balanced.
+func Example() {
+	g := gen.Mesh2D(24, 24)
+	uni := topology.UniformMatrix(4)
+
+	hp := stream.HP(g, 4)
+	dg := stream.DG(g, 4, stream.DefaultOptions())
+	ldg := stream.LDG(g, 4, stream.DefaultOptions())
+
+	fmt.Println("DG beats HP on cut:",
+		partition.CommCost(g, dg, uni, 1) < partition.CommCost(g, hp, uni, 1))
+	fmt.Println("LDG balanced within 10%:", partition.Skewness(g, ldg) < 1.1)
+	// Output:
+	// DG beats HP on cut: true
+	// LDG balanced within 10%: true
+}

@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"math/rand"
+
+	"paragon/internal/graph"
+)
+
+// Order is the sequence in which vertices arrive at a streaming
+// partitioner. Stanton & Kliot showed (and §7.1 of the PARAGON paper
+// re-observed) that streaming quality depends on arrival order; the
+// common orders are provided for experimentation.
+type Order int
+
+const (
+	// OrderNatural streams vertices by ascending id — how a stored edge
+	// list replays (the evaluation default).
+	OrderNatural Order = iota
+	// OrderRandom streams a seeded random permutation.
+	OrderRandom
+	// OrderBFS streams in breadth-first order from a seeded start,
+	// restarting per component.
+	OrderBFS
+	// OrderDFS streams in depth-first order from a seeded start,
+	// restarting per component.
+	OrderDFS
+)
+
+func (o Order) String() string {
+	switch o {
+	case OrderNatural:
+		return "natural"
+	case OrderRandom:
+		return "random"
+	case OrderBFS:
+		return "bfs"
+	case OrderDFS:
+		return "dfs"
+	default:
+		return "unknown"
+	}
+}
+
+// streamOrder materializes the arrival sequence for a graph.
+func streamOrder(g *graph.Graph, o Order, seed int64) []int32 {
+	n := g.NumVertices()
+	out := make([]int32, n)
+	switch o {
+	case OrderRandom:
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(int(n))
+		for i, v := range perm {
+			out[i] = int32(v)
+		}
+	case OrderBFS:
+		return traversalOrder(g, seed, false)
+	case OrderDFS:
+		return traversalOrder(g, seed, true)
+	default:
+		for i := range out {
+			out[i] = int32(i)
+		}
+	}
+	return out
+}
+
+// traversalOrder produces a BFS (dfs=false) or DFS (dfs=true) arrival
+// order covering all components, starting each component at its
+// lowest-id unvisited vertex after a seeded random first start.
+func traversalOrder(g *graph.Graph, seed int64, dfs bool) []int32 {
+	n := g.NumVertices()
+	out := make([]int32, 0, n)
+	visited := make([]bool, n)
+	var frontier []int32
+	push := func(v int32) {
+		if !visited[v] {
+			visited[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	start := int32(0)
+	if n > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		start = int32(rng.Intn(int(n)))
+	}
+	next := func() (int32, bool) {
+		if len(frontier) == 0 {
+			return 0, false
+		}
+		var v int32
+		if dfs {
+			v = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		} else {
+			v = frontier[0]
+			frontier = frontier[1:]
+		}
+		return v, true
+	}
+	push(start)
+	for scan := int32(0); ; {
+		v, ok := next()
+		if !ok {
+			// Restart on the next unvisited vertex.
+			for scan < n && visited[scan] {
+				scan++
+			}
+			if scan >= n {
+				break
+			}
+			push(scan)
+			continue
+		}
+		out = append(out, v)
+		for _, u := range g.Neighbors(v) {
+			push(u)
+		}
+	}
+	return out
+}

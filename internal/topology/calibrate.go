@@ -1,0 +1,132 @@
+package topology
+
+import "fmt"
+
+// Calibration: the paper derives its relative cost matrix from
+// osu_latency measurements between bound MPI ranks. CalibrateLatency
+// plays that role for the model: given measured samples of (rank pair,
+// latency) on a cluster whose *shape* is known, it fits a LatencyModel
+// by averaging per communication class and normalizing to the cheapest
+// class, so modeled clusters can be parameterized from real probes.
+
+// LatencySample is one measured point-to-point latency between two
+// ranks (cores), in any consistent unit (µs, cycles, ...).
+type LatencySample struct {
+	RankA, RankB int
+	Latency      float64
+}
+
+// CalibrateLatency fits a LatencyModel from samples measured on a
+// cluster of the given shape. Same-rank samples are ignored. The
+// inter-node term is fit as base + perHop·hops by averaging per hop
+// count (single-hop-count data yields PerHop 0). Classes without samples
+// keep the DefaultLatency value, scaled consistently. Returns an error
+// when no usable sample exists.
+func CalibrateLatency(c *Cluster, samples []LatencySample) (LatencyModel, error) {
+	sums := map[CommClass]float64{}
+	counts := map[CommClass]int{}
+	hopSums := map[int]float64{}
+	hopCounts := map[int]int{}
+	for _, s := range samples {
+		if s.RankA == s.RankB || s.RankA < 0 || s.RankB < 0 ||
+			s.RankA >= c.TotalCores() || s.RankB >= c.TotalCores() || s.Latency <= 0 {
+			continue
+		}
+		cl := c.Class(s.RankA, s.RankB)
+		sums[cl] += s.Latency
+		counts[cl]++
+		if cl == InterNode {
+			h := c.Net.Hops(c.Loc(s.RankA).Node, c.Loc(s.RankB).Node)
+			hopSums[h] += s.Latency
+			hopCounts[h]++
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return LatencyModel{}, fmt.Errorf("topology: no usable latency samples")
+	}
+	// Normalization anchor: the cheapest measured class.
+	def := DefaultLatency()
+	avg := func(cl CommClass, fallback float64) float64 {
+		if counts[cl] > 0 {
+			return sums[cl] / float64(counts[cl])
+		}
+		return -fallback // negative marks "unmeasured"; resolved after scaling
+	}
+	m := LatencyModel{
+		SharedL2:    avg(SharedL2, def.SharedL2),
+		IntraSocket: avg(IntraSocket, def.IntraSocket),
+		InterSocket: avg(InterSocket, def.InterSocket),
+	}
+	// Inter-node: fit base + perHop·hops from per-hop averages.
+	switch len(hopCounts) {
+	case 0:
+		m.InterNodeBase = -def.InterNodeBase
+		m.PerHop = -def.PerHop
+	case 1:
+		for h, n := range hopCounts {
+			mean := hopSums[h] / float64(n)
+			m.InterNodeBase = mean
+			m.PerHop = 0
+			_ = h
+		}
+	default:
+		// Least-squares over (hops, mean latency).
+		var sx, sy, sxx, sxy float64
+		var k int
+		for h, n := range hopCounts {
+			x := float64(h)
+			y := hopSums[h] / float64(n)
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+			k++
+		}
+		fk := float64(k)
+		den := fk*sxx - sx*sx
+		if den == 0 {
+			m.InterNodeBase = sy / fk
+			m.PerHop = 0
+		} else {
+			m.PerHop = (fk*sxy - sx*sy) / den
+			m.InterNodeBase = (sy - m.PerHop*sx) / fk
+			if m.PerHop < 0 {
+				m.PerHop = 0
+				m.InterNodeBase = sy / fk
+			}
+		}
+	}
+	// Normalize so the cheapest measured class is 1, and scale
+	// unmeasured fallbacks by the same factor.
+	cheapest := 0.0
+	for _, v := range []float64{m.SharedL2, m.IntraSocket, m.InterSocket, m.InterNodeBase} {
+		if v > 0 && (cheapest == 0 || v < cheapest) {
+			cheapest = v
+		}
+	}
+	if cheapest <= 0 {
+		return LatencyModel{}, fmt.Errorf("topology: calibration degenerate")
+	}
+	norm := func(v, defV float64) float64 {
+		if v > 0 {
+			return v / cheapest
+		}
+		return defV // unmeasured: keep the default's relative value
+	}
+	out := LatencyModel{
+		SharedL2:      norm(m.SharedL2, def.SharedL2),
+		IntraSocket:   norm(m.IntraSocket, def.IntraSocket),
+		InterSocket:   norm(m.InterSocket, def.InterSocket),
+		InterNodeBase: norm(m.InterNodeBase, def.InterNodeBase),
+	}
+	if m.PerHop > 0 {
+		out.PerHop = m.PerHop / cheapest
+	} else if m.InterNodeBase < 0 {
+		out.PerHop = def.PerHop // inter-node entirely unmeasured
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrateRecoversKnownModel(t *testing.T) {
+	// Generate synthetic "measurements" from a known model on Gordon
+	// (32 nodes: multiple hop counts), then fit and compare.
+	truth := SlowNetworkLatency()
+	cl := GordonCluster(32)
+	cl.Latency = truth
+	var samples []LatencySample
+	// Dense sampling over a rank subset covering all classes.
+	ranks := []int{0, 1, 8, 9, 16, 17, 16 * 16, 16*16 + 1, 25 * 16, 30 * 16, 500}
+	for _, a := range ranks {
+		for _, b := range ranks {
+			if a != b {
+				samples = append(samples, LatencySample{a, b, cl.Cost(a, b) * 3.7}) // arbitrary unit scale
+			}
+		}
+	}
+	fit, err := CalibrateLatency(cl, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fitted values are normalized to the cheapest class (intra-socket
+	// shares value with SharedL2 on NUMA nodes); compare ratios against
+	// the truth's ratios.
+	ratio := func(m LatencyModel) [3]float64 {
+		return [3]float64{
+			m.InterSocket / m.IntraSocket,
+			m.InterNodeBase / m.IntraSocket,
+			m.PerHop / m.IntraSocket,
+		}
+	}
+	want, got := ratio(truth), ratio(fit)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 0.05*want[i]+1e-9 {
+			t.Fatalf("ratio %d: fit %v vs truth %v (full fit %+v)", i, got[i], want[i], fit)
+		}
+	}
+}
+
+func TestCalibrateSingleHopCount(t *testing.T) {
+	// Flat switch: all inter-node pairs are 1 hop; PerHop must fit to 0
+	// with the base carrying the whole cost.
+	cl := PittCluster(3)
+	samples := []LatencySample{
+		{0, 1, 2},   // intra-socket
+		{0, 10, 4},  // inter-socket
+		{0, 20, 30}, // inter-node
+		{0, 40, 30}, // inter-node
+	}
+	fit, err := CalibrateLatency(cl, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.PerHop != 0 {
+		t.Fatalf("PerHop = %v, want 0 for single hop count", fit.PerHop)
+	}
+	if math.Abs(fit.InterNodeBase-15) > 1e-9 { // 30 normalized by cheapest (2)
+		t.Fatalf("InterNodeBase = %v, want 15", fit.InterNodeBase)
+	}
+	if fit.IntraSocket != 1 || fit.InterSocket != 2 {
+		t.Fatalf("class fits: %+v", fit)
+	}
+}
+
+func TestCalibrateFallbacksForUnmeasuredClasses(t *testing.T) {
+	cl := PittCluster(2)
+	// Only intra-socket measured.
+	fit, err := CalibrateLatency(cl, []LatencySample{{0, 1, 7}, {1, 2, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultLatency()
+	if fit.IntraSocket != 1 {
+		t.Fatalf("intra-socket = %v", fit.IntraSocket)
+	}
+	if fit.InterSocket != def.InterSocket || fit.InterNodeBase != def.InterNodeBase || fit.PerHop != def.PerHop {
+		t.Fatalf("unmeasured classes should keep defaults: %+v", fit)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	cl := PittCluster(1)
+	if _, err := CalibrateLatency(cl, nil); err == nil {
+		t.Fatal("expected no-samples error")
+	}
+	// Garbage samples only.
+	bad := []LatencySample{
+		{0, 0, 5},    // same rank
+		{-1, 3, 5},   // out of range
+		{0, 1, -2},   // non-positive latency
+		{0, 9999, 5}, // out of range
+	}
+	if _, err := CalibrateLatency(cl, bad); err == nil {
+		t.Fatal("expected error for unusable samples")
+	}
+}
+
+func TestCalibratedModelDrivesCluster(t *testing.T) {
+	// End-to-end: fit a model, install it, and verify cost ordering.
+	cl := PittCluster(2)
+	fit, err := CalibrateLatency(cl, []LatencySample{
+		{0, 1, 1.1}, {0, 10, 3.9}, {0, 20, 14.5}, {1, 21, 15.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Latency = fit
+	if !(cl.Cost(0, 1) < cl.Cost(0, 10) && cl.Cost(0, 10) < cl.Cost(0, 20)) {
+		t.Fatalf("ordering violated after calibration: %v %v %v",
+			cl.Cost(0, 1), cl.Cost(0, 10), cl.Cost(0, 20))
+	}
+}

@@ -1,0 +1,40 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders the cluster as an hwloc/lstopo-style tree — the view
+// an operator uses to sanity-check the model against the real machine
+// before trusting the cost matrix derived from it.
+func (c *Cluster) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster %q: %d nodes, %d cores, %s\n", c.Name, len(c.Nodes), c.total, c.Net.Name())
+	fmt.Fprintf(&b, "latency: shared-L2 %.1f, intra-socket %.1f, inter-socket %.1f, inter-node %.1f (+%.1f/hop, max %d hops)\n",
+		c.Latency.SharedL2, c.Latency.IntraSocket, c.Latency.InterSocket,
+		c.Latency.InterNodeBase, c.Latency.PerHop, c.Net.MaxHops())
+	rank := 0
+	for ni, spec := range c.Nodes {
+		fmt.Fprintf(&b, "node %d (%s, %d sockets × %d cores)\n", ni, spec.Arch, spec.Sockets, spec.CoresPerSocket)
+		for s := 0; s < spec.Sockets; s++ {
+			fmt.Fprintf(&b, "  socket %d:", s)
+			for cIdx := 0; cIdx < spec.CoresPerSocket; cIdx++ {
+				if spec.L2GroupSize > 1 && cIdx%spec.L2GroupSize == 0 {
+					b.WriteString(" [")
+				} else if spec.L2GroupSize > 1 && cIdx%spec.L2GroupSize != 0 {
+					b.WriteString(" ")
+				} else {
+					b.WriteString(" ")
+				}
+				fmt.Fprintf(&b, "core%d", rank)
+				if spec.L2GroupSize > 1 && (cIdx+1)%spec.L2GroupSize == 0 {
+					b.WriteString("]")
+				}
+				rank++
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"paragon/internal/topology"
+)
+
+// Example shows how communication cost varies with placement on a
+// modeled two-node NUMA cluster, and how the Eq. 12 contention penalty
+// reshapes the matrix.
+func Example() {
+	cl := topology.PittCluster(2) // 2 nodes × 2 sockets × 10 cores
+	fmt.Printf("intra-socket: %.0f\n", cl.Cost(0, 1))
+	fmt.Printf("inter-socket: %.0f\n", cl.Cost(0, 10))
+	fmt.Printf("inter-node:   %.0f\n", cl.Cost(0, 20))
+
+	// λ=1 penalizes intra-node pairs past the network cost.
+	m, _ := cl.PartitionCostMatrix(40, 1.0)
+	fmt.Printf("with contention penalty, intra-socket: %.0f\n", m[0][1])
+	// Output:
+	// intra-socket: 2
+	// inter-socket: 4
+	// inter-node:   15
+	// with contention penalty, intra-socket: 21
+}
+
+// ExampleCluster_ContendedResources reproduces a Table 1 row.
+func ExampleCluster_ContendedResources() {
+	uma := topology.UMACluster(1)
+	for _, r := range uma.ContendedResources(0, 2) {
+		fmt.Println(r)
+	}
+	// Output:
+	// socket
+	// FSB/QPI(HT)
+	// memory controller
+}

@@ -1,0 +1,122 @@
+package topology
+
+import "fmt"
+
+// Additional interconnects beyond the paper's two platforms. The paper's
+// argument — communication cost varies with topology distance and jobs
+// should be placed topology-aware — applies to every modern HPC fabric;
+// these models let users reproduce the experiments on fat-tree and
+// dragonfly clusters.
+
+// FatTree is a three-level fat-tree (leaf/aggregation/core): nodes hang
+// off leaf switches, leaves group into pods, pods join through the core.
+// Hop counts: same leaf = 1, same pod = 3 (leaf-agg-leaf), cross pod = 5
+// (leaf-agg-core-agg-leaf).
+type FatTree struct {
+	NodesPerLeaf int
+	LeavesPerPod int
+	Pods         int
+}
+
+// Hops implements Interconnect.
+func (f FatTree) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	leafA, leafB := a/f.NodesPerLeaf, b/f.NodesPerLeaf
+	if leafA == leafB {
+		return 1
+	}
+	podA, podB := leafA/f.LeavesPerPod, leafB/f.LeavesPerPod
+	if podA == podB {
+		return 3
+	}
+	return 5
+}
+
+// MaxHops implements Interconnect.
+func (f FatTree) MaxHops() int {
+	if f.Pods > 1 {
+		return 5
+	}
+	if f.LeavesPerPod > 1 {
+		return 3
+	}
+	return 1
+}
+
+// Name implements Interconnect.
+func (f FatTree) Name() string {
+	return fmt.Sprintf("fat-tree (%d pods × %d leaves × %d nodes)", f.Pods, f.LeavesPerPod, f.NodesPerLeaf)
+}
+
+// Dragonfly is a two-tier dragonfly: nodes attach to routers, routers
+// form fully-connected groups, groups join by global links. Hop counts:
+// same router = 1, same group = 2 (router-router), cross group = 4
+// (router-global-router, counting the global link as two).
+type Dragonfly struct {
+	NodesPerRouter  int
+	RoutersPerGroup int
+	Groups          int
+}
+
+// Hops implements Interconnect.
+func (d Dragonfly) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	rA, rB := a/d.NodesPerRouter, b/d.NodesPerRouter
+	if rA == rB {
+		return 1
+	}
+	gA, gB := rA/d.RoutersPerGroup, rB/d.RoutersPerGroup
+	if gA == gB {
+		return 2
+	}
+	return 4
+}
+
+// MaxHops implements Interconnect.
+func (d Dragonfly) MaxHops() int {
+	if d.Groups > 1 {
+		return 4
+	}
+	if d.RoutersPerGroup > 1 {
+		return 2
+	}
+	return 1
+}
+
+// Name implements Interconnect.
+func (d Dragonfly) Name() string {
+	return fmt.Sprintf("dragonfly (%d groups × %d routers × %d nodes)", d.Groups, d.RoutersPerGroup, d.NodesPerRouter)
+}
+
+// FatTreeCluster builds a NUMA cluster (2×10-core nodes) on a fat-tree
+// fabric, for experiments beyond the paper's two platforms.
+func FatTreeCluster(pods, leavesPerPod, nodesPerLeaf int) *Cluster {
+	n := pods * leavesPerPod * nodesPerLeaf
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = NodeSpec{Sockets: 2, CoresPerSocket: 10, Arch: NUMA, L2GroupSize: 1}
+	}
+	c, err := NewCluster("fat-tree", specs, FatTree{NodesPerLeaf: nodesPerLeaf, LeavesPerPod: leavesPerPod, Pods: pods}, DefaultLatency())
+	if err != nil {
+		panic(fmt.Sprintf("topology: FatTreeCluster preset invalid: %v", err))
+	}
+	return c
+}
+
+// DragonflyCluster builds a NUMA cluster on a dragonfly fabric.
+func DragonflyCluster(groups, routersPerGroup, nodesPerRouter int) *Cluster {
+	n := groups * routersPerGroup * nodesPerRouter
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = NodeSpec{Sockets: 2, CoresPerSocket: 10, Arch: NUMA, L2GroupSize: 1}
+	}
+	c, err := NewCluster("dragonfly", specs, Dragonfly{NodesPerRouter: nodesPerRouter, RoutersPerGroup: routersPerGroup, Groups: groups}, DefaultLatency())
+	if err != nil {
+		panic(fmt.Sprintf("topology: DragonflyCluster preset invalid: %v", err))
+	}
+	return c
+}

@@ -1,0 +1,85 @@
+package topology
+
+import "testing"
+
+func TestFatTreeHops(t *testing.T) {
+	f := FatTree{NodesPerLeaf: 4, LeavesPerPod: 2, Pods: 3}
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 0, 0},
+		{0, 3, 1},  // same leaf
+		{0, 4, 3},  // same pod, different leaves
+		{0, 8, 5},  // different pods
+		{9, 13, 3}, // pod 1 internal (leaves 2,3)
+	}
+	for _, tc := range cases {
+		if got := f.Hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if f.Hops(tc.a, tc.b) != f.Hops(tc.b, tc.a) {
+			t.Errorf("asymmetric hops %d,%d", tc.a, tc.b)
+		}
+	}
+	if f.MaxHops() != 5 {
+		t.Fatalf("MaxHops = %d", f.MaxHops())
+	}
+	if (FatTree{NodesPerLeaf: 4, LeavesPerPod: 2, Pods: 1}).MaxHops() != 3 {
+		t.Fatal("single-pod MaxHops should be 3")
+	}
+	if (FatTree{NodesPerLeaf: 4, LeavesPerPod: 1, Pods: 1}).MaxHops() != 1 {
+		t.Fatal("single-leaf MaxHops should be 1")
+	}
+	if f.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestDragonflyHops(t *testing.T) {
+	d := Dragonfly{NodesPerRouter: 2, RoutersPerGroup: 3, Groups: 2}
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},  // same router
+		{0, 2, 2},  // same group, different routers
+		{0, 6, 4},  // different groups
+		{7, 11, 2}, // group 1 internal
+	}
+	for _, tc := range cases {
+		if got := d.Hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if d.MaxHops() != 4 {
+		t.Fatalf("MaxHops = %d", d.MaxHops())
+	}
+	if (Dragonfly{NodesPerRouter: 2, RoutersPerGroup: 3, Groups: 1}).MaxHops() != 2 {
+		t.Fatal("single-group MaxHops should be 2")
+	}
+	if d.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestFabricClusters(t *testing.T) {
+	ft := FatTreeCluster(2, 2, 2) // 8 nodes × 20 cores
+	if ft.TotalCores() != 160 {
+		t.Fatalf("fat-tree cores = %d", ft.TotalCores())
+	}
+	df := DragonflyCluster(2, 2, 2)
+	if df.TotalCores() != 160 {
+		t.Fatalf("dragonfly cores = %d", df.TotalCores())
+	}
+	// Cost ordering must respect the fabric distances.
+	sameLeaf := ft.Cost(0, 20)   // nodes 0,1 share a leaf
+	crossPod := ft.Cost(0, 4*20) // node 4 is in pod 1
+	if sameLeaf >= crossPod {
+		t.Fatalf("fat-tree cost ordering violated: %v vs %v", sameLeaf, crossPod)
+	}
+	sameRouter := df.Cost(0, 20)
+	crossGroup := df.Cost(0, 4*20)
+	if sameRouter >= crossGroup {
+		t.Fatalf("dragonfly cost ordering violated: %v vs %v", sameRouter, crossGroup)
+	}
+}

@@ -1,0 +1,41 @@
+package topology
+
+import "fmt"
+
+// Helpers for the paper's default deployment: an n-way decomposition with
+// one partition per core, partition i bound to rank i (the assignment M
+// of §3 is the identity). These produce the c(Pi, Pj) inputs PARAGON and
+// the BSP simulator consume.
+
+// PartitionCostMatrix returns the k×k relative cost matrix for partitions
+// bound to the first k ranks of the cluster, with the Eq. 12 contention
+// penalty applied at degree lambda.
+func (c *Cluster) PartitionCostMatrix(k int, lambda float64) ([][]float64, error) {
+	if k < 1 || k > c.total {
+		return nil, fmt.Errorf("topology: k = %d outside [1,%d] for cluster %s", k, c.total, c.Name)
+	}
+	m := make([][]float64, k)
+	for i := range m {
+		m[i] = make([]float64, k)
+		for j := range m[i] {
+			m[i][j] = c.Cost(i, j)
+		}
+	}
+	if lambda > 0 {
+		m = c.ApplyContention(m, lambda)
+	}
+	return m, nil
+}
+
+// NodeOf returns the compute-node index hosting each of the first k
+// ranks — the σ(s) bookkeeping input of Eq. 10's group-server penalty.
+func (c *Cluster) NodeOf(k int) ([]int, error) {
+	if k < 1 || k > c.total {
+		return nil, fmt.Errorf("topology: k = %d outside [1,%d] for cluster %s", k, c.total, c.Name)
+	}
+	nodes := make([]int, k)
+	for r := 0; r < k; r++ {
+		nodes[r] = c.Loc(r).Node
+	}
+	return nodes, nil
+}

@@ -1,0 +1,21 @@
+package vertexcut_test
+
+import (
+	"fmt"
+
+	"paragon/internal/gen"
+	"paragon/internal/vertexcut"
+)
+
+// Example compares the replication factor of random edge hashing against
+// HDRF on a power-law graph.
+func Example() {
+	g := gen.RMAT(4000, 24000, 0.57, 0.19, 0.19, 3)
+	random := vertexcut.Random(g, 16)
+	hdrf := vertexcut.HDRF(g, 16, 2)
+	fmt.Println("HDRF replicates less:", hdrf.ReplicationFactor() < random.ReplicationFactor())
+	fmt.Println("HDRF balanced:", hdrf.LoadImbalance() < 1.05)
+	// Output:
+	// HDRF replicates less: true
+	// HDRF balanced: true
+}

@@ -1,0 +1,247 @@
+// Package vertexcut implements vertex-cut graph partitioning — the
+// alternative family §8 of the paper discusses (PowerGraph, HDRF): edges
+// rather than vertices are assigned to partitions, and a vertex is
+// replicated on every partition holding one of its edges. Vertex-cut
+// reduces communication on power-law graphs; as the paper notes, it too
+// faces communication heterogeneity (replicas synchronize across the
+// network), so the same topology-aware cost accounting applies.
+//
+// Three assigners are provided: Random (hashing), Greedy (PowerGraph's
+// rule) and HDRF (Petroni et al., CIKM'15 — high-degree replicated
+// first).
+package vertexcut
+
+import (
+	"fmt"
+	"math"
+
+	"paragon/internal/graph"
+)
+
+// Assignment maps every undirected edge of a graph to a partition and
+// tracks the replica sets the assignment induces.
+type Assignment struct {
+	K int32
+	// EdgePart is indexed by the canonical edge index (the position of
+	// the edge (v,u), v<u, in v-major order).
+	EdgePart []int32
+	// Replicas[v] is the bitset of partitions holding a replica of v
+	// (words of 64 partitions each).
+	Replicas [][]uint64
+	// EdgeLoad counts edges per partition.
+	EdgeLoad []int64
+}
+
+// EdgeCount returns the number of undirected edges assigned.
+func (a *Assignment) EdgeCount() int64 { return int64(len(a.EdgePart)) }
+
+// ReplicaCount returns the number of replicas of v.
+func (a *Assignment) ReplicaCount(v int32) int {
+	c := 0
+	for _, w := range a.Replicas[v] {
+		for ; w != 0; w &= w - 1 {
+			c++
+		}
+	}
+	return c
+}
+
+// ReplicationFactor is the primary vertex-cut quality metric: average
+// replicas per vertex (1.0 is perfect).
+func (a *Assignment) ReplicationFactor() float64 {
+	if len(a.Replicas) == 0 {
+		return 0
+	}
+	var total int64
+	nonEmpty := 0
+	for v := range a.Replicas {
+		if c := a.ReplicaCount(int32(v)); c > 0 {
+			total += int64(c)
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		return 0
+	}
+	return float64(total) / float64(nonEmpty)
+}
+
+// LoadImbalance returns maxEdges / avgEdges across partitions.
+func (a *Assignment) LoadImbalance() float64 {
+	var max, sum int64
+	for _, l := range a.EdgeLoad {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) / (float64(sum) / float64(a.K))
+}
+
+// has reports whether partition p holds a replica of v.
+func (a *Assignment) has(v, p int32) bool {
+	return a.Replicas[v][p/64]&(1<<(uint(p)%64)) != 0
+}
+
+func (a *Assignment) add(v, p int32) {
+	a.Replicas[v][p/64] |= 1 << (uint(p) % 64)
+}
+
+func newAssignment(g *graph.Graph, k int32) *Assignment {
+	n := g.NumVertices()
+	words := (int(k) + 63) / 64
+	a := &Assignment{
+		K:        k,
+		EdgePart: make([]int32, g.NumEdges()),
+		Replicas: make([][]uint64, n),
+		EdgeLoad: make([]int64, k),
+	}
+	for v := range a.Replicas {
+		a.Replicas[v] = make([]uint64, words)
+	}
+	return a
+}
+
+// assignFunc chooses the partition of the next edge (u,v).
+type assignFunc func(a *Assignment, g *graph.Graph, u, v int32) int32
+
+func partitionEdges(g *graph.Graph, k int32, choose assignFunc) *Assignment {
+	if k < 1 {
+		panic(fmt.Sprintf("vertexcut: k = %d", k))
+	}
+	a := newAssignment(g, k)
+	idx := 0
+	for v := int32(0); v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				p := choose(a, g, v, u)
+				a.EdgePart[idx] = p
+				a.EdgeLoad[p]++
+				a.add(v, p)
+				a.add(u, p)
+				idx++
+			}
+		}
+	}
+	return a
+}
+
+// Random assigns each edge to a hashed partition — the PowerGraph
+// default baseline.
+func Random(g *graph.Graph, k int32) *Assignment {
+	return partitionEdges(g, k, func(a *Assignment, g *graph.Graph, u, v int32) int32 {
+		h := uint32(u)*2654435761 ^ uint32(v)*40503
+		h ^= h >> 15
+		return int32(h % uint32(k))
+	})
+}
+
+// Greedy implements PowerGraph's greedy rule: prefer a partition already
+// holding both endpoints, then one holding either, then the least
+// loaded.
+func Greedy(g *graph.Graph, k int32) *Assignment {
+	return partitionEdges(g, k, func(a *Assignment, g *graph.Graph, u, v int32) int32 {
+		bestBoth, bestOne := int32(-1), int32(-1)
+		for p := int32(0); p < k; p++ {
+			hu, hv := a.has(u, p), a.has(v, p)
+			switch {
+			case hu && hv:
+				if bestBoth < 0 || a.EdgeLoad[p] < a.EdgeLoad[bestBoth] {
+					bestBoth = p
+				}
+			case hu || hv:
+				if bestOne < 0 || a.EdgeLoad[p] < a.EdgeLoad[bestOne] {
+					bestOne = p
+				}
+			}
+		}
+		if bestBoth >= 0 {
+			return bestBoth
+		}
+		if bestOne >= 0 {
+			return bestOne
+		}
+		return leastLoaded(a)
+	})
+}
+
+// HDRF implements high-degree-replicated-first (Petroni et al.): like
+// Greedy, but when only one endpoint is present the score favors
+// replicating the higher-degree endpoint, and a balance term
+// lambda·(max−load)/(ε+max−min) keeps partitions even. The replica
+// score reaches ~3, so lambda must exceed it occasionally to bind;
+// lambda=2 balances essentially perfectly in practice while keeping the
+// replication factor well below Random's (values ≤ 1 are clamped to 2).
+func HDRF(g *graph.Graph, k int32, lambda float64) *Assignment {
+	if lambda <= 1 {
+		lambda = 2
+	}
+	const eps = 1.0
+	return partitionEdges(g, k, func(a *Assignment, g *graph.Graph, u, v int32) int32 {
+		du, dv := float64(g.Degree(u)), float64(g.Degree(v))
+		thetaU := du / (du + dv)
+		thetaV := 1 - thetaU
+		var minL, maxL int64
+		minL = math.MaxInt64
+		for p := int32(0); p < k; p++ {
+			if a.EdgeLoad[p] < minL {
+				minL = a.EdgeLoad[p]
+			}
+			if a.EdgeLoad[p] > maxL {
+				maxL = a.EdgeLoad[p]
+			}
+		}
+		best := int32(0)
+		bestScore := math.Inf(-1)
+		for p := int32(0); p < k; p++ {
+			var rep float64
+			if a.has(u, p) {
+				rep += 1 + (1 - thetaU)
+			}
+			if a.has(v, p) {
+				rep += 1 + (1 - thetaV)
+			}
+			bal := lambda * float64(maxL-a.EdgeLoad[p]) / (eps + float64(maxL-minL))
+			if s := rep + bal; s > bestScore {
+				best, bestScore = p, s
+			}
+		}
+		return best
+	})
+}
+
+func leastLoaded(a *Assignment) int32 {
+	best := int32(0)
+	for p := int32(1); p < a.K; p++ {
+		if a.EdgeLoad[p] < a.EdgeLoad[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// SyncCost estimates the architecture-aware replica synchronization cost
+// of an assignment: each vertex's replicas must exchange updates with
+// its master (its first replica partition); every (master, replica)
+// pair contributes c[master][replica]. This extends the paper's
+// observation that vertex-cut systems also face communication
+// heterogeneity.
+func SyncCost(a *Assignment, c [][]float64) float64 {
+	var total float64
+	for v := range a.Replicas {
+		master := int32(-1)
+		for p := int32(0); p < a.K; p++ {
+			if a.has(int32(v), p) {
+				if master < 0 {
+					master = p
+				} else {
+					total += c[master][p]
+				}
+			}
+		}
+	}
+	return total
+}

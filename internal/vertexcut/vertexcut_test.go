@@ -1,0 +1,159 @@
+package vertexcut
+
+import (
+	"testing"
+	"testing/quick"
+
+	"paragon/internal/gen"
+	"paragon/internal/topology"
+)
+
+func TestRandomAssignsEveryEdge(t *testing.T) {
+	g := gen.RMAT(1000, 5000, 0.57, 0.19, 0.19, 1)
+	a := Random(g, 8)
+	if a.EdgeCount() != g.NumEdges() {
+		t.Fatalf("assigned %d of %d edges", a.EdgeCount(), g.NumEdges())
+	}
+	var sum int64
+	for _, l := range a.EdgeLoad {
+		sum += l
+	}
+	if sum != g.NumEdges() {
+		t.Fatalf("edge loads sum to %d, want %d", sum, g.NumEdges())
+	}
+	for _, p := range a.EdgePart {
+		if p < 0 || p >= 8 {
+			t.Fatalf("edge partition %d out of range", p)
+		}
+	}
+}
+
+func TestReplicaInvariant(t *testing.T) {
+	// Every vertex with degree > 0 must have >= 1 replica; every edge's
+	// partition must hold replicas of both endpoints.
+	g := gen.BarabasiAlbert(500, 3, 2)
+	for name, a := range map[string]*Assignment{
+		"random": Random(g, 6),
+		"greedy": Greedy(g, 6),
+		"hdrf":   HDRF(g, 6, 2),
+	} {
+		idx := 0
+		for v := int32(0); v < g.NumVertices(); v++ {
+			for _, u := range g.Neighbors(v) {
+				if v < u {
+					p := a.EdgePart[idx]
+					if !a.has(v, p) || !a.has(u, p) {
+						t.Fatalf("%s: edge %d-%d in %d lacks endpoint replicas", name, v, u, p)
+					}
+					idx++
+				}
+			}
+			if g.Degree(v) > 0 && a.ReplicaCount(v) < 1 {
+				t.Fatalf("%s: vertex %d has no replica", name, v)
+			}
+		}
+	}
+}
+
+func TestReplicationFactorOrdering(t *testing.T) {
+	// On power-law graphs: HDRF and Greedy must replicate far less than
+	// Random (the reason vertex-cut heuristics exist).
+	g := gen.RMAT(4000, 24000, 0.57, 0.19, 0.19, 3)
+	rf := func(a *Assignment) float64 { return a.ReplicationFactor() }
+	rnd, grd, hdrf := rf(Random(g, 16)), rf(Greedy(g, 16)), rf(HDRF(g, 16, 2))
+	if grd >= rnd {
+		t.Fatalf("greedy RF %.2f not below random %.2f", grd, rnd)
+	}
+	if hdrf >= rnd {
+		t.Fatalf("HDRF RF %.2f not below random %.2f", hdrf, rnd)
+	}
+	if rnd < 1 || grd < 1 || hdrf < 1 {
+		t.Fatalf("replication factors below 1: %v %v %v", rnd, grd, hdrf)
+	}
+}
+
+func TestHDRFBalancesBetterThanGreedy(t *testing.T) {
+	// Greedy collapses onto few partitions on power-law graphs; HDRF's
+	// balance term prevents that.
+	g := gen.BarabasiAlbert(3000, 5, 4)
+	grd := Greedy(g, 12).LoadImbalance()
+	hdrf := HDRF(g, 12, 2).LoadImbalance()
+	if hdrf > grd+0.2 {
+		t.Fatalf("HDRF imbalance %.2f much worse than greedy %.2f", hdrf, grd)
+	}
+	if hdrf > 1.6 {
+		t.Fatalf("HDRF imbalance %.2f too high", hdrf)
+	}
+}
+
+func TestSyncCostTopologyAware(t *testing.T) {
+	g := gen.RMAT(2000, 12000, 0.57, 0.19, 0.19, 5)
+	cl := topology.PittCluster(2)
+	c, err := cl.PartitionCostMatrix(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := HDRF(g, 16, 2)
+	cost := SyncCost(a, c)
+	if cost <= 0 {
+		t.Fatal("sync cost must be positive for a replicated assignment")
+	}
+	// Uniform matrix cost equals total replicas minus masters.
+	uni := topology.UniformMatrix(16)
+	var extra int64
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if rc := a.ReplicaCount(v); rc > 1 {
+			extra += int64(rc - 1)
+		}
+	}
+	if got := SyncCost(a, uni); got != float64(extra) {
+		t.Fatalf("uniform sync cost %v, want %d", got, extra)
+	}
+}
+
+func TestPanicsOnBadK(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Random(g, 0)
+}
+
+func TestManyPartitionsBitset(t *testing.T) {
+	// k > 64 exercises multi-word replica bitsets.
+	g := gen.ErdosRenyi(500, 2500, 7)
+	a := HDRF(g, 100, 4)
+	if a.ReplicationFactor() < 1 {
+		t.Fatal("replication factor below 1")
+	}
+	if a.LoadImbalance() > 3 {
+		t.Fatalf("imbalance %.2f", a.LoadImbalance())
+	}
+}
+
+// Property: for all assigners, loads sum to the edge count and the
+// replica sets cover edge endpoints.
+func TestQuickAssignersValid(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int32(kRaw%20) + 2
+		g := gen.ErdosRenyi(200, 600, seed)
+		for _, a := range []*Assignment{Random(g, k), Greedy(g, k), HDRF(g, k, 2)} {
+			var sum int64
+			for _, l := range a.EdgeLoad {
+				sum += l
+			}
+			if sum != g.NumEdges() {
+				return false
+			}
+			if a.ReplicationFactor() < 1 && g.NumEdges() > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

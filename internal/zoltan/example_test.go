@@ -1,0 +1,26 @@
+package zoltan_test
+
+import (
+	"fmt"
+
+	"paragon/internal/gen"
+	"paragon/internal/stream"
+	"paragon/internal/zoltan"
+)
+
+// Example repartitions a hashed decomposition under the hypergraph
+// connectivity-1 model with migration nets.
+func Example() {
+	g := gen.Mesh2D(16, 16)
+	old := stream.HP(g, 4)
+	now, stats, err := zoltan.Repartition(g, old, zoltan.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("connectivity reduced:", stats.ConnectivityAfter < stats.ConnectivityBefore)
+	fmt.Println("valid:", now.Validate(g) == nil)
+	// Output:
+	// connectivity reduced: true
+	// valid: true
+}

@@ -1,0 +1,172 @@
+package zoltan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paragon/internal/gen"
+	"paragon/internal/graph"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+func TestConnectivityCutBasics(t *testing.T) {
+	// A path 0-1-2 split {0},{1},{2}: net(0)={0,1} spans 2 parts (+1),
+	// net(1)={0,1,2} spans 3 (+2), net(2)={1,2} spans 2 (+1) => 4.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	p := partition.New(3, 3)
+	p.Assign[1], p.Assign[2] = 1, 2
+	if c := ConnectivityCut(g, p); c != 4 {
+		t.Fatalf("connectivity = %v, want 4", c)
+	}
+	// Single partition: zero.
+	p1 := partition.New(1, 3)
+	if c := ConnectivityCut(g, p1); c != 0 {
+		t.Fatalf("1-way connectivity = %v", c)
+	}
+}
+
+func TestConnectivityVsEdgeCut(t *testing.T) {
+	// Connectivity-1 counts each remote partition once per net, so it is
+	// at most the edge cut (for unit weights) but can be far less on
+	// hub vertices.
+	g := gen.RMAT(800, 4800, 0.57, 0.19, 0.19, 2)
+	p := stream.HP(g, 8)
+	conn := ConnectivityCut(g, p)
+	cut := float64(partition.EdgeCut(g, p))
+	if conn <= 0 {
+		t.Fatal("connectivity must be positive for a hashed power-law graph")
+	}
+	if conn > 2*cut {
+		t.Fatalf("connectivity %v implausibly above cut %v", conn, cut)
+	}
+}
+
+func TestRepartitionImprovesConnectivity(t *testing.T) {
+	g := gen.Mesh2D(24, 24)
+	g.UseDegreeWeights()
+	old := stream.HP(g, 6)
+	_, st, err := Repartition(g, old, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ConnectivityAfter >= st.ConnectivityBefore {
+		t.Fatalf("connectivity not improved: %v -> %v", st.ConnectivityBefore, st.ConnectivityAfter)
+	}
+	if st.Moves == 0 {
+		t.Fatal("no moves recorded")
+	}
+}
+
+func TestRepartitionRestoresBalance(t *testing.T) {
+	g := gen.Mesh2D(20, 20)
+	old := partition.New(4, g.NumVertices()) // collapsed
+	now, _, err := Repartition(g, old, Options{Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := now.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if s := partition.Skewness(g, now); s > 1.25 {
+		t.Fatalf("residual skew %.3f", s)
+	}
+}
+
+func TestRepartitionKeepsMigrationModest(t *testing.T) {
+	// Starting from a decent decomposition, the migration-net term must
+	// keep most vertices home.
+	g := gen.Mesh2D(24, 24)
+	g.UseDegreeWeights()
+	old := stream.DG(g, 6, stream.DefaultOptions())
+	now, _, err := Repartition(g, old, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for v := range old.Assign {
+		if old.Assign[v] != now.Assign[v] {
+			moved++
+		}
+	}
+	if float64(moved) > 0.5*float64(len(old.Assign)) {
+		t.Fatalf("moved %d of %d vertices despite migration nets", moved, len(old.Assign))
+	}
+	// Objective (connectivity + migration/α) must not rise.
+	alpha := 10.0
+	uni := topology.UniformMatrix(6)
+	objOld := ConnectivityCut(g, old)
+	objNew := ConnectivityCut(g, now) + partition.MigrationCost(g, old, now, uni)/alpha
+	if objNew > objOld+1e-6 {
+		t.Fatalf("objective rose: %v -> %v", objOld, objNew)
+	}
+}
+
+func TestRepartitionErrors(t *testing.T) {
+	g := gen.ErdosRenyi(20, 40, 1)
+	bad := partition.New(4, 3)
+	if _, _, err := Repartition(g, bad, Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestMoveDeltaMatchesRecomputation(t *testing.T) {
+	// The incremental delta must equal the exact connectivity difference
+	// (migration term excluded by old == current assignment at cur).
+	rng := rand.New(rand.NewSource(5))
+	g := gen.ErdosRenyi(150, 600, 4)
+	p := stream.HP(g, 5)
+	for trial := 0; trial < 200; trial++ {
+		v := int32(rng.Intn(int(g.NumVertices())))
+		dst := int32(rng.Intn(5))
+		cur := p.Assign[v]
+		if dst == cur {
+			continue
+		}
+		old := p.Clone() // old owner == current: migration term is -vs/α for leaving
+		before := ConnectivityCut(g, p)
+		delta := moveDelta(g, p, old.Assign, v, dst, 10)
+		migTerm := float64(g.VertexSize(v)) / 10 // leaving home
+		p.Assign[v] = dst
+		after := ConnectivityCut(g, p)
+		p.Assign[v] = cur
+		got, want := delta-migTerm, after-before
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: delta %v (conn part) vs exact %v", trial, got, want)
+		}
+	}
+}
+
+// Property: repartitioning always yields valid, weight-conserving
+// decompositions and never raises the combined objective.
+func TestQuickRepartitionInvariants(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int32(kRaw%6) + 2
+		g := gen.ErdosRenyi(200, 700, seed)
+		g.UseDegreeWeights()
+		old := stream.HP(g, k)
+		now, st, err := Repartition(g, old, Options{})
+		if err != nil {
+			return false
+		}
+		if err := now.Validate(g); err != nil {
+			return false
+		}
+		var total int64
+		for _, w := range now.Weights(g) {
+			total += w
+		}
+		if total != g.TotalVertexWeight() {
+			return false
+		}
+		return st.ConnectivityAfter <= st.ConnectivityBefore+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

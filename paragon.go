@@ -1,0 +1,247 @@
+// Package paragon is the public API of the PARAGON reproduction: a
+// parallel architecture-aware graph partition refinement library (Zheng
+// et al., EDBT 2016) together with everything needed to use it — graph
+// loading and generation, hardware topology modeling, initial
+// partitioners, baselines, a cluster execution simulator, and the
+// physical migration service.
+//
+// The minimal flow:
+//
+//	g, _ := paragon.ReadMETISFile("social.graph")
+//	g.UseDegreeWeights()
+//	cluster := paragon.PittCluster(2)
+//	costs, _ := cluster.PartitionCostMatrix(cluster.TotalCores(), 1.0)
+//	p := paragon.DG(g, int32(cluster.TotalCores()))
+//	stats, _ := paragon.Refine(g, p, costs, paragon.DefaultConfig())
+//
+// Each subsystem's full surface lives in the corresponding internal
+// package; this facade re-exports the types and entry points a
+// downstream user needs, so the internal packages can evolve freely.
+package paragon
+
+import (
+	"io"
+	"os"
+
+	"paragon/internal/apps"
+	"paragon/internal/aragon"
+	"paragon/internal/bsp"
+	"paragon/internal/gen"
+	"paragon/internal/graph"
+	"paragon/internal/metis"
+	"paragon/internal/migrate"
+	"paragon/internal/paragon"
+	"paragon/internal/parmetis"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+// ---- Graphs ----
+
+// Graph is an immutable undirected CSR graph with vertex weights, vertex
+// sizes, and edge weights.
+type Graph = graph.Graph
+
+// Builder accumulates edges and produces a Graph.
+type Builder = graph.Builder
+
+// Overlay is a mutable edge add/remove view over a Graph.
+type Overlay = graph.Overlay
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int32) *Builder { return graph.NewBuilder(n) }
+
+// NewOverlay wraps a graph for edge mutation.
+func NewOverlay(g *Graph) *Overlay { return graph.NewOverlay(g) }
+
+// ReadMETIS parses a METIS .graph stream.
+func ReadMETIS(r io.Reader) (*Graph, error) { return graph.ReadMETIS(r) }
+
+// ReadMETISFile parses a METIS .graph file.
+func ReadMETISFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadMETIS(f)
+}
+
+// WriteMETIS writes a graph in METIS format.
+func WriteMETIS(w io.Writer, g *Graph) error { return graph.WriteMETIS(w, g) }
+
+// ReadEdgeList parses a "u v [w]" edge-list stream.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// ReadBinary parses the library's binary CSR format.
+func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteBinary writes the binary CSR format.
+func WriteBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// ---- Synthetic datasets ----
+
+// RMAT generates a power-law Kronecker graph (social-network class).
+func RMAT(n int32, m int64, a, b, c float64, seed int64) *Graph {
+	return gen.RMAT(n, m, a, b, c, seed)
+}
+
+// Mesh2D generates a triangulated FEM-style mesh.
+func Mesh2D(rows, cols int32) *Graph { return gen.Mesh2D(rows, cols) }
+
+// RoadGrid generates a near-planar road-network-like graph.
+func RoadGrid(rows, cols int32, keep, diag float64, seed int64) *Graph {
+	return gen.RoadGrid(rows, cols, keep, diag, seed)
+}
+
+// Dataset is a named stand-in for one of the paper's evaluation datasets.
+type Dataset = gen.Dataset
+
+// Datasets lists the paper's twelve Figure 9–11 dataset stand-ins.
+func Datasets() []Dataset { return gen.Datasets() }
+
+// ---- Hardware topology ----
+
+// Cluster models a multicore cluster (nodes, sockets, caches, fabric).
+type Cluster = topology.Cluster
+
+// NodeSpec describes one compute node.
+type NodeSpec = topology.NodeSpec
+
+// Interconnect abstracts the network between nodes.
+type Interconnect = topology.Interconnect
+
+// PittCluster models n flat-switch 2×10-core NUMA nodes (the paper's
+// PittMPICluster).
+func PittCluster(nodes int) *Cluster { return topology.PittCluster(nodes) }
+
+// GordonCluster models n 3D-torus 2×8-core NUMA nodes (the paper's
+// Gordon).
+func GordonCluster(nodes int) *Cluster { return topology.GordonCluster(nodes) }
+
+// NewCluster builds a custom cluster.
+func NewCluster(name string, nodes []NodeSpec, net Interconnect, lat topology.LatencyModel) (*Cluster, error) {
+	return topology.NewCluster(name, nodes, net, lat)
+}
+
+// UniformMatrix returns the architecture-agnostic k×k cost matrix.
+func UniformMatrix(k int) [][]float64 { return topology.UniformMatrix(k) }
+
+// ---- Decompositions and metrics ----
+
+// Partitioning assigns every vertex to one of K partitions.
+type Partitioning = partition.Partitioning
+
+// Quality bundles the §3 metrics (edge cut, Eq. 2 comm cost, Eq. 4 skew).
+type Quality = partition.Quality
+
+// Evaluate computes the quality metrics of a decomposition.
+func Evaluate(g *Graph, p *Partitioning, c [][]float64, alpha float64) Quality {
+	return partition.Evaluate(g, p, c, alpha)
+}
+
+// CommCost computes Eq. 2.
+func CommCost(g *Graph, p *Partitioning, c [][]float64, alpha float64) float64 {
+	return partition.CommCost(g, p, c, alpha)
+}
+
+// MigrationCost computes Eq. 3 between two decompositions.
+func MigrationCost(g *Graph, old, now *Partitioning, c [][]float64) float64 {
+	return partition.MigrationCost(g, old, now, c)
+}
+
+// Skewness computes Eq. 4.
+func Skewness(g *Graph, p *Partitioning) float64 { return partition.Skewness(g, p) }
+
+// ---- Initial partitioners ----
+
+// HP hashes vertices across k partitions.
+func HP(g *Graph, k int32) *Partitioning { return stream.HP(g, k) }
+
+// DG runs the deterministic-greedy streaming partitioner (2% imbalance).
+func DG(g *Graph, k int32) *Partitioning { return stream.DG(g, k, stream.DefaultOptions()) }
+
+// LDG runs the linear deterministic-greedy streaming partitioner.
+func LDG(g *Graph, k int32) *Partitioning { return stream.LDG(g, k, stream.DefaultOptions()) }
+
+// Metis runs the multilevel partitioner (recursive bisection).
+func Metis(g *Graph, k int32, seed int64) *Partitioning {
+	return metis.Partition(g, k, metis.Options{Seed: seed})
+}
+
+// Repartition adapts an existing decomposition with the ParMETIS-style
+// scratch-remap strategy.
+func Repartition(g *Graph, old *Partitioning, seed int64) (*Partitioning, error) {
+	return parmetis.Repartition(g, old, parmetis.Options{Seed: seed})
+}
+
+// ---- Refinement (the paper's contribution) ----
+
+// Config tunes PARAGON refinement.
+type Config = paragon.Config
+
+// Stats reports what a refinement did.
+type Stats = paragon.Stats
+
+// DefaultConfig returns the paper's defaults (drp=8, 8 shuffles, α=10).
+func DefaultConfig() Config { return paragon.DefaultConfig() }
+
+// Refine improves a decomposition in place against a relative cost
+// matrix (see Cluster.PartitionCostMatrix), returning statistics.
+func Refine(g *Graph, p *Partitioning, c [][]float64, cfg Config) (Stats, error) {
+	return paragon.Refine(g, p, c, cfg)
+}
+
+// RefineUniform runs the UNIPARAGON baseline (uniform costs).
+func RefineUniform(g *Graph, p *Partitioning, cfg Config) (Stats, error) {
+	return paragon.RefineUniform(g, p, cfg)
+}
+
+// RefineSerial runs the serial ARAGON refiner over all partition pairs.
+func RefineSerial(g *Graph, p *Partitioning, c [][]float64, alpha, maxImbalance float64) error {
+	_, err := aragon.Refine(g, p, c, aragon.Config{Alpha: alpha, MaxImbalance: maxImbalance})
+	return err
+}
+
+// ---- Migration ----
+
+// MigrationPlan schedules vertex movement between two decompositions.
+type MigrationPlan = migrate.Plan
+
+// NewMigrationPlan diffs two decompositions.
+func NewMigrationPlan(old, now *Partitioning) (*MigrationPlan, error) {
+	return migrate.NewPlan(old, now)
+}
+
+// ---- Execution simulator ----
+
+// Engine executes vertex programs on a modeled cluster.
+type Engine = bsp.Engine
+
+// EngineOptions tunes the simulator's cost model.
+type EngineOptions = bsp.Options
+
+// RunResult is the outcome of a simulated job (JET, volume breakdown).
+type RunResult = bsp.Result
+
+// NewEngine binds a graph, a decomposition, and a cluster (partition i
+// runs on core i).
+func NewEngine(g *Graph, p *Partitioning, cl *Cluster, opts EngineOptions) (*Engine, error) {
+	return bsp.NewEngine(g, p, cl, opts)
+}
+
+// BFS runs breadth-first search from src on the engine.
+func BFS(e *Engine, g *Graph, src int32) ([]int64, RunResult, error) {
+	return apps.BFS(e, g, src)
+}
+
+// SSSP runs single-source shortest path from src on the engine.
+func SSSP(e *Engine, g *Graph, src int32) ([]int64, RunResult, error) {
+	return apps.SSSP(e, g, src)
+}
+
+// PageRank runs iters damped PageRank rounds on the engine.
+func PageRank(e *Engine, g *Graph, iters int) ([]int64, RunResult, error) {
+	return apps.PageRank(e, g, iters)
+}
