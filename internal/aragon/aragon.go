@@ -107,110 +107,14 @@ func RefinePair(g *graph.Graph, p *partition.Partitioning, orig []int32, pi, pj 
 // model the k-hop boundary shipping of §5 — a group server only holds the
 // vertices its group members shipped, so only those can migrate. A nil
 // mask admits every boundary vertex of the pair (full ARAGON behavior).
+//
+// This is the single-pair convenience form: it builds a fresh
+// partition.Index (O(|V|+|E|)) for the one call. Sweeps over many pairs
+// should build the index once and drive a Refiner instead, as Refine and
+// PARAGON's group servers do.
 func RefinePairAllowed(g *graph.Graph, p *partition.Partitioning, orig []int32, pi, pj int32, c [][]float64, loads []int64, maxLoad int64, cfg Config, allowed []bool) Result {
-	cfg = cfg.WithDefaults()
-	if pi == pj {
-		return Result{}
-	}
-	// Candidate set: all boundary vertices of the two partitions (see the
-	// package comment on why interior-to-pair boundary vertices count),
-	// intersected with the allowed mask when one is given.
-	var cands []int32
-	for v := int32(0); v < g.NumVertices(); v++ {
-		pv := p.Assign[v]
-		if pv != pi && pv != pj {
-			continue
-		}
-		if allowed != nil {
-			if allowed[v] {
-				cands = append(cands, v)
-			}
-			continue
-		}
-		if partition.IsBoundary(g, p, v) {
-			cands = append(cands, v)
-		}
-	}
-	if len(cands) == 0 {
-		return Result{PairsSeen: 1}
-	}
-	inPair := make(map[int32]int, len(cands)) // vertex -> index in cands
-	for idx, v := range cands {
-		inPair[v] = idx
-	}
-	gains := make([]float64, len(cands))
-	moved := make([]bool, len(cands))
-	h := newFloatHeap(len(cands))
-	scratch := make([]int64, p.K) // reused across gain evaluations
-	recompute := func(idx int) {
-		v := cands[idx]
-		from := p.Assign[v]
-		to := pi
-		if from == pi {
-			to = pj
-		}
-		dext := partition.ExternalDegreesInto(g, p, v, scratch)
-		gains[idx] = gainFromDegrees(g, dext, orig, v, from, to, c, cfg.Alpha)
-	}
-	for idx := range cands {
-		recompute(idx)
-		h.push(int32(idx), gains[idx])
-	}
-
-	type moveRec struct {
-		v        int32
-		from, to int32
-	}
-	var history []moveRec
-	var prefix, best float64
-	bestLen := 0
-	bad := 0
-
-	for h.len() > 0 && bad < cfg.BadMoveLimit {
-		idx, gv, ok := h.popValid(gains, moved)
-		if !ok {
-			break
-		}
-		v := cands[idx]
-		from := p.Assign[v]
-		to := pi
-		if from == pi {
-			to = pj
-		}
-		if loads[to]+int64(g.VertexWeight(v)) > maxLoad {
-			moved[idx] = true // inadmissible for this pass
-			continue
-		}
-		p.Assign[v] = to
-		loads[from] -= int64(g.VertexWeight(v))
-		loads[to] += int64(g.VertexWeight(v))
-		moved[idx] = true
-		history = append(history, moveRec{v, from, to})
-		prefix += gv
-		if prefix > best {
-			best = prefix
-			bestLen = len(history)
-			bad = 0
-		} else {
-			bad++
-		}
-		// Re-evaluate unmoved candidate neighbors of v: their d_ext
-		// toward pi/pj changed.
-		for _, u := range g.Neighbors(v) {
-			if uidx, ok := inPair[u]; ok && !moved[uidx] {
-				recompute(uidx)
-				h.push(int32(uidx), gains[uidx])
-			}
-		}
-	}
-	// Roll back past the best prefix.
-	for i := len(history) - 1; i >= bestLen; i-- {
-		m := history[i]
-		p.Assign[m.v] = m.from
-		loads[m.to] -= int64(g.VertexWeight(m.v))
-		loads[m.from] += int64(g.VertexWeight(m.v))
-	}
-	return Result{Moves: bestLen, Gain: best, PairsSeen: 1}
+	r := NewRefiner(g, partition.BuildIndex(g, p), cfg)
+	return r.RefinePair(orig, pi, pj, c, loads, maxLoad, allowed)
 }
 
 // Refine runs full ARAGON: it applies RefinePair to every pair of the
@@ -228,10 +132,14 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 	orig := append([]int32(nil), p.Assign...)
 	loads := p.Weights(g)
 	maxLoad := partition.BalanceBound(g, p.K, cfg.MaxImbalance)
+	// One index serves all k(k−1)/2 pairs: every move (and rollback)
+	// delta-maintains it, so per-pair candidate enumeration is
+	// O(|P_i| + |P_j|) instead of a full-vertex scan.
+	ref := NewRefiner(g, partition.BuildIndex(g, p), cfg)
 	var total Result
 	for i := int32(0); i < p.K; i++ {
 		for j := i + 1; j < p.K; j++ {
-			r := RefinePair(g, p, orig, i, j, c, loads, maxLoad, cfg)
+			r := ref.RefinePair(orig, i, j, c, loads, maxLoad, nil)
 			total.Moves += r.Moves
 			total.Gain += r.Gain
 			total.PairsSeen += r.PairsSeen
@@ -252,6 +160,12 @@ func newFloatHeap(capHint int) *floatHeap {
 }
 
 func (h *floatHeap) len() int { return len(h.idx) }
+
+// reset empties the heap, keeping its backing storage for reuse.
+func (h *floatHeap) reset() {
+	h.idx = h.idx[:0]
+	h.g = h.g[:0]
+}
 
 func (h *floatHeap) push(i int32, gain float64) {
 	h.idx = append(h.idx, i)

@@ -1,0 +1,54 @@
+package aragon
+
+import (
+	"sync"
+	"testing"
+
+	"paragon/internal/gen"
+	"paragon/internal/graph"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+var (
+	hotBenchOnce  sync.Once
+	hotBenchGraph *graph.Graph
+)
+
+func benchGraph100k() *graph.Graph {
+	hotBenchOnce.Do(func() {
+		g := gen.RMAT(100_000, 800_000, 0.57, 0.19, 0.19, 42)
+		g.UseDegreeWeights()
+		hotBenchGraph = g
+	})
+	return hotBenchGraph
+}
+
+// BenchmarkRefinePairHot measures refinement of a single partition pair
+// on a 100k-vertex graph — the innermost unit of work PARAGON fans out
+// k(k-1)/2m times per group per round. The index is built outside the
+// timed region, as in a real sweep where one index amortizes over all
+// k(k-1)/2 pairs.
+func BenchmarkRefinePairHot(b *testing.B) {
+	for _, k := range []int32{32, 128} {
+		b.Run(map[int32]string{32: "k=32", 128: "k=128"}[k], func(b *testing.B) {
+			g := benchGraph100k()
+			p0 := stream.HP(g, k)
+			orig := append([]int32(nil), p0.Assign...)
+			c := topology.UniformMatrix(int(k))
+			maxLoad := partition.BalanceBound(g, k, 0.02)
+			cfg := Config{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := p0.Clone()
+				loads := p.Weights(g)
+				r := NewRefiner(g, partition.BuildIndex(g, p), cfg)
+				b.StartTimer()
+				r.RefinePair(orig, 0, 1, c, loads, maxLoad, nil)
+			}
+		})
+	}
+}

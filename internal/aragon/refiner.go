@@ -1,0 +1,238 @@
+package aragon
+
+import (
+	"paragon/internal/graph"
+	"paragon/internal/partition"
+)
+
+// Refiner bundles the reusable scratch state of the pairwise FM hot path:
+// the dense candidate slot array, the gain/moved slices, the gain heap,
+// and the sparse external-degree buffer. Construct one per refinement
+// sweep (per group server in PARAGON) and call RefinePair for every pair
+// of the sweep — candidate enumeration comes from the supplied
+// partition.PairIndexer instead of a full-graph scan, and all per-pair
+// allocations are amortized across the k(k−1)/2 pair loop.
+//
+// The refiner produces bit-identical results to the historical scan-based
+// implementation: candidates arrive in ascending vertex order, gains are
+// accumulated over partitions in ascending order, and the heap receives
+// pushes in the same sequence, so tie-breaking is unchanged.
+type Refiner struct {
+	g   *graph.Graph
+	p   *partition.Partitioning
+	ix  partition.PairIndexer
+	cfg Config
+
+	slot    []int32 // vertex -> candidate slot + 1; 0 = not in current pair
+	cands   []int32
+	gains   []float64
+	moved   []bool
+	h       *floatHeap
+	dext    []int64  // sparse K-length external-degree scratch, all-zero between uses
+	dmask   []uint64 // ⌈K/64⌉-word touched-partition bitmap, all-zero between uses
+	touched []int32  // partitions touched by the last dext fill
+	history []moveRec
+
+	// Cached off-diagonal-uniformity of the last cost matrix seen (keyed
+	// by its first row). Cost matrices are treated as immutable.
+	cRow0    *[]float64
+	cUniform bool
+}
+
+type moveRec struct {
+	v        int32
+	from, to int32
+}
+
+// NewRefiner builds a refiner over ix. The indexer owns the partitioning:
+// every move flows through ix.Move so the index invariants hold across
+// pairs (and across the rollback of non-improving suffixes).
+func NewRefiner(g *graph.Graph, ix partition.PairIndexer, cfg Config) *Refiner {
+	p := ix.Partitioning()
+	return &Refiner{
+		g:    g,
+		p:    p,
+		ix:   ix,
+		cfg:  cfg.WithDefaults(),
+		slot:  make([]int32, g.NumVertices()),
+		h:     newFloatHeap(64),
+		dext:  make([]int64, p.K),
+		dmask: make([]uint64, partition.MaskWords(p.K)),
+	}
+}
+
+// RefinePair refines the pair (pi, pj) in place — the FM hill climb with
+// rollback of RefinePairAllowed, with candidates enumerated from the
+// index. orig is the migration reference, loads the live per-partition
+// weights (updated in place, rollback included), and allowed the optional
+// movable-vertex mask of §5.
+func (r *Refiner) RefinePair(orig []int32, pi, pj int32, c [][]float64, loads []int64, maxLoad int64, allowed []bool) Result {
+	if pi == pj {
+		return Result{}
+	}
+	if len(c) > 0 && &c[0] != r.cRow0 {
+		r.cRow0 = &c[0]
+		r.cUniform = uniformOffDiag(c)
+	}
+	r.cands = r.ix.AppendPairCandidates(r.cands[:0], pi, pj, allowed)
+	n := len(r.cands)
+	if n == 0 {
+		return Result{PairsSeen: 1}
+	}
+	for idx, v := range r.cands {
+		r.slot[v] = int32(idx) + 1
+	}
+	if cap(r.gains) < n {
+		r.gains = make([]float64, n)
+		r.moved = make([]bool, n)
+	} else {
+		r.gains = r.gains[:n]
+		r.moved = r.moved[:n]
+		for i := range r.moved {
+			r.moved[i] = false
+		}
+	}
+	r.h.reset()
+	recompute := func(idx int) {
+		v := r.cands[idx]
+		from := r.p.Assign[v]
+		to := pi
+		if from == pi {
+			to = pj
+		}
+		r.gains[idx] = r.gain(v, from, to, orig, c)
+	}
+	for idx := 0; idx < n; idx++ {
+		recompute(idx)
+		r.h.push(int32(idx), r.gains[idx])
+	}
+
+	r.history = r.history[:0]
+	var prefix, best float64
+	bestLen := 0
+	bad := 0
+
+	for r.h.len() > 0 && bad < r.cfg.BadMoveLimit {
+		idx, gv, ok := r.h.popValid(r.gains, r.moved)
+		if !ok {
+			break
+		}
+		v := r.cands[idx]
+		from := r.p.Assign[v]
+		to := pi
+		if from == pi {
+			to = pj
+		}
+		if loads[to]+int64(r.g.VertexWeight(v)) > maxLoad {
+			r.moved[idx] = true // inadmissible for this pass
+			continue
+		}
+		r.ix.Move(v, to)
+		loads[from] -= int64(r.g.VertexWeight(v))
+		loads[to] += int64(r.g.VertexWeight(v))
+		r.moved[idx] = true
+		r.history = append(r.history, moveRec{v, from, to})
+		prefix += gv
+		if prefix > best {
+			best = prefix
+			bestLen = len(r.history)
+			bad = 0
+		} else {
+			bad++
+		}
+		// Re-evaluate unmoved candidate neighbors of v: their d_ext
+		// toward pi/pj changed. O(deg) slot lookups replace the map.
+		for _, u := range r.g.Neighbors(v) {
+			if s := r.slot[u]; s != 0 && !r.moved[s-1] {
+				recompute(int(s - 1))
+				r.h.push(s-1, r.gains[s-1])
+			}
+		}
+	}
+	// Roll back past the best prefix (through the index, so its
+	// invariants survive into the next pair).
+	for i := len(r.history) - 1; i >= bestLen; i-- {
+		m := r.history[i]
+		r.ix.Move(m.v, m.from)
+		loads[m.to] -= int64(r.g.VertexWeight(m.v))
+		loads[m.from] += int64(r.g.VertexWeight(m.v))
+	}
+	for _, v := range r.cands {
+		r.slot[v] = 0
+	}
+	return Result{Moves: bestLen, Gain: best, PairsSeen: 1}
+}
+
+// gain computes Eq. 5 for moving v from `from` to `to` using the sparse
+// external-degree scratch: O(deg(v) + K/64 + t) per evaluation instead of
+// the dense O(deg(v) + K). The partitions are visited in ascending order
+// (the touched bitmap is drained low bit first), matching the dense
+// loop's summation order bit for bit.
+func (r *Refiner) gain(v, from, to int32, orig []int32, c [][]float64) float64 {
+	if r.cUniform {
+		return r.gainUniform(v, from, to, orig, c)
+	}
+	r.touched = partition.ExternalDegreesSparse(r.g, r.p, v, r.dext, r.dmask, r.touched[:0])
+	// Eq. 6: impact on the (Pi, Pj) cut.
+	gStd := r.cfg.Alpha * float64(r.dext[to]-r.dext[from]) * c[from][to]
+	// Eq. 8: impact on v's communication with every other partition.
+	var gTopo float64
+	for _, k := range r.touched {
+		if k == from || k == to {
+			continue
+		}
+		gTopo += float64(r.dext[k]) * (c[from][k] - c[to][k])
+	}
+	gTopo *= r.cfg.Alpha
+	// Eq. 9: impact on migration cost relative to the original owner.
+	k0 := orig[v]
+	gMig := float64(r.g.VertexSize(v)) * (c[from][k0] - c[to][k0])
+	for _, k := range r.touched {
+		r.dext[k] = 0 // sparse reset: only the touched entries
+	}
+	return gStd + gTopo + gMig
+}
+
+// gainUniform is gain specialized to an off-diagonal-constant cost matrix
+// (standard FM): every Eq. 8 term carries a factor c[from][k]−c[to][k],
+// which is exactly zero for k ∉ {from, to}, so g_topo is identically +0.0
+// and only the pair-local external degrees are needed — one
+// two-accumulator pass over the adjacency, no per-partition scratch.
+func (r *Refiner) gainUniform(v, from, to int32, orig []int32, c [][]float64) float64 {
+	adj := r.g.Neighbors(v)
+	w := r.g.EdgeWeights(v)
+	w = w[:len(adj)]
+	assign := r.p.Assign
+	var dfrom, dto int64
+	for i, u := range adj {
+		switch assign[u] {
+		case from:
+			dfrom += int64(w[i])
+		case to:
+			dto += int64(w[i])
+		}
+	}
+	gStd := r.cfg.Alpha * float64(dto-dfrom) * c[from][to]
+	gTopo := 0.0 // Σ dext[k]·0 — kept as an explicit +0.0 term so the
+	// final sum associates exactly as the general path's (gStd+gTopo)+gMig
+	k0 := orig[v]
+	gMig := float64(r.g.VertexSize(v)) * (c[from][k0] - c[to][k0])
+	return gStd + gTopo + gMig
+}
+
+// uniformOffDiag reports whether every off-diagonal entry of c is equal —
+// the uniform-cost topologies of standard FM refinement.
+func uniformOffDiag(c [][]float64) bool {
+	if len(c) < 2 {
+		return true
+	}
+	u := c[0][1]
+	for i := range c {
+		for j := range c[i] {
+			if i != j && c[i][j] != u {
+				return false
+			}
+		}
+	}
+	return true
+}

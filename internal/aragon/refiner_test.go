@@ -1,0 +1,139 @@
+package aragon
+
+import (
+	"math/rand"
+	"testing"
+
+	"paragon/internal/gen"
+	"paragon/internal/partition"
+	"paragon/internal/topology"
+)
+
+// TestSparseGainMatchesDense checks that the refiner's sparse-scratch gain
+// (ascending touched-partition order) is bit-identical to the dense Eq. 5
+// evaluation, for every vertex against every target partition. Bitwise
+// equality matters: the FM heap breaks ties by insertion order, so any FP
+// drift changes move sequences.
+func TestSparseGainMatchesDense(t *testing.T) {
+	g := gen.RMAT(800, 4000, 0.57, 0.19, 0.19, 31)
+	g.UseDegreeWeights()
+	rng := rand.New(rand.NewSource(23))
+	const k = 11
+	p := partition.New(k, g.NumVertices())
+	for v := range p.Assign {
+		p.Assign[v] = rng.Int31n(k)
+	}
+	orig := append([]int32(nil), p.Assign...)
+	// Shuffle some assignments so orig differs and g_mig is exercised.
+	for i := 0; i < 200; i++ {
+		p.Assign[rng.Int31n(g.NumVertices())] = rng.Int31n(k)
+	}
+	// Nonuniform symmetric cost matrix so g_topo sums many unequal terms.
+	c := make([][]float64, k)
+	for i := range c {
+		c[i] = make([]float64, k)
+		for j := range c[i] {
+			if i != j {
+				c[i][j] = 1 + float64((i+j)%5)
+			}
+		}
+	}
+	cfg := Config{}.WithDefaults()
+	r := NewRefiner(g, partition.BuildIndex(g, p), cfg)
+	for v := int32(0); v < g.NumVertices(); v++ {
+		from := p.Assign[v]
+		dense := partition.ExternalDegrees(g, p, v)
+		for to := int32(0); to < k; to++ {
+			if to == from {
+				continue
+			}
+			want := gainFromDegrees(g, dense, orig, v, from, to, c, cfg.Alpha)
+			got := r.gain(v, from, to, orig, c)
+			if got != want {
+				t.Fatalf("gain(v=%d, %d->%d) = %v, want %v (not bit-identical)", v, from, to, got, want)
+			}
+		}
+	}
+}
+
+// TestUniformGainMatchesDense pins the uniform-cost fast path (g_topo
+// short-circuited to +0.0) to the dense Eq. 5 evaluation, bitwise.
+func TestUniformGainMatchesDense(t *testing.T) {
+	g := gen.BarabasiAlbert(700, 4, 29)
+	g.UseDegreeWeights()
+	rng := rand.New(rand.NewSource(37))
+	const k = 8
+	p := partition.New(k, g.NumVertices())
+	for v := range p.Assign {
+		p.Assign[v] = rng.Int31n(k)
+	}
+	orig := append([]int32(nil), p.Assign...)
+	for i := 0; i < 150; i++ {
+		p.Assign[rng.Int31n(g.NumVertices())] = rng.Int31n(k)
+	}
+	c := topology.UniformMatrix(k)
+	cfg := Config{}.WithDefaults()
+	r := NewRefiner(g, partition.BuildIndex(g, p), cfg)
+	// Prime the uniformity cache the way RefinePair does.
+	r.cRow0, r.cUniform = &c[0], uniformOffDiag(c)
+	if !r.cUniform {
+		t.Fatal("UniformMatrix not detected as uniform")
+	}
+	for v := int32(0); v < g.NumVertices(); v++ {
+		from := p.Assign[v]
+		dense := partition.ExternalDegrees(g, p, v)
+		for to := int32(0); to < k; to++ {
+			if to == from {
+				continue
+			}
+			want := gainFromDegrees(g, dense, orig, v, from, to, c, cfg.Alpha)
+			got := r.gain(v, from, to, orig, c)
+			if got != want {
+				t.Fatalf("uniform gain(v=%d, %d->%d) = %v, want %v", v, from, to, got, want)
+			}
+		}
+	}
+}
+
+// TestRefinerSharedAcrossPairs checks that one refiner driven across a full
+// pair sweep leaves the index consistent and produces a valid partitioning.
+func TestRefinerSharedAcrossPairs(t *testing.T) {
+	g := gen.BarabasiAlbert(600, 3, 41)
+	g.UseDegreeWeights()
+	rng := rand.New(rand.NewSource(43))
+	const k = 6
+	p := partition.New(k, g.NumVertices())
+	for v := range p.Assign {
+		p.Assign[v] = rng.Int31n(k)
+	}
+	orig := append([]int32(nil), p.Assign...)
+	c := topology.UniformMatrix(k)
+	cfg := Config{}.WithDefaults()
+	loads := p.Weights(g)
+	maxLoad := partition.BalanceBound(g, k, cfg.MaxImbalance)
+	ix := partition.BuildIndex(g, p)
+	r := NewRefiner(g, ix, cfg)
+	var moves int
+	for i := int32(0); i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			res := r.RefinePair(orig, i, j, c, loads, maxLoad, nil)
+			moves += res.Moves
+		}
+	}
+	if moves == 0 {
+		t.Fatal("random partitioning refined with zero moves")
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatalf("index inconsistent after sweep: %v", err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// loads must have been maintained move-by-move (rollback included).
+	want := p.Weights(g)
+	for q := range want {
+		if loads[q] != want[q] {
+			t.Fatalf("loads[%d] = %d, want %d", q, loads[q], want[q])
+		}
+	}
+}

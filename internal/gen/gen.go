@@ -105,14 +105,25 @@ func BarabasiAlbert(n int32, k int, seed int64) *graph.Graph {
 		}
 	}
 	chosen := make(map[int32]struct{}, k)
+	picks := make([]int32, 0, k)
 	for v := int32(k) + 1; v < n; v++ {
 		for id := range chosen {
 			delete(chosen, id)
 		}
+		picks = picks[:0]
 		for len(chosen) < k {
-			chosen[targets[rng.Intn(len(targets))]] = struct{}{}
+			u := targets[rng.Intn(len(targets))]
+			if _, dup := chosen[u]; dup {
+				continue
+			}
+			chosen[u] = struct{}{}
+			picks = append(picks, u)
 		}
-		for u := range chosen {
+		// Iterate picks in selection order, not map order: map iteration
+		// is randomized per run and would leak into the edge insertion
+		// order and the targets list, breaking the package's seeded
+		// determinism guarantee.
+		for _, u := range picks {
 			bld.AddEdge(v, u)
 			targets = append(targets, v, u)
 		}
@@ -150,10 +161,12 @@ func HolmeKim(n int32, k int, pt float64, seed int64) *graph.Graph {
 		}
 	}
 	chosen := make(map[int32]struct{}, k)
+	picks := make([]int32, 0, k)
 	for v := int32(k) + 1; v < n; v++ {
 		for id := range chosen {
 			delete(chosen, id)
 		}
+		picks = picks[:0]
 		var last int32 = -1
 		for len(chosen) < k {
 			var pick int32
@@ -178,9 +191,11 @@ func HolmeKim(n int32, k int, pt float64, seed int64) *graph.Graph {
 				}
 			}
 			chosen[pick] = struct{}{}
+			picks = append(picks, pick)
 			last = pick
 		}
-		for u := range chosen {
+		// Selection order, not map order — see BarabasiAlbert.
+		for _, u := range picks {
 			bld.AddEdge(v, u)
 			targets = append(targets, v, u)
 			adjacency[v] = append(adjacency[v], u)

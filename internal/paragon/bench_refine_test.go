@@ -1,0 +1,51 @@
+package paragon
+
+import (
+	"sync"
+	"testing"
+
+	"paragon/internal/gen"
+	"paragon/internal/graph"
+	"paragon/internal/stream"
+)
+
+// The refinement benchmarks run on a 100k-vertex power-law graph, the
+// scale at which the per-pair full-graph scans of the naive hot path
+// dominate. scripts/bench.sh records their trajectory in BENCH_refine.json.
+
+var (
+	refineBenchOnce  sync.Once
+	refineBenchGraph *graph.Graph
+)
+
+func benchGraph100k() *graph.Graph {
+	refineBenchOnce.Do(func() {
+		g := gen.RMAT(100_000, 800_000, 0.57, 0.19, 0.19, 42)
+		g.UseDegreeWeights()
+		refineBenchGraph = g
+	})
+	return refineBenchGraph
+}
+
+// BenchmarkParagonRound measures one full PARAGON refinement round
+// (grouping, shipping accounting, parallel group refinement, exchange)
+// at the paper's drp=8 on 100k vertices.
+func BenchmarkParagonRound(b *testing.B) {
+	for _, k := range []int32{32, 128} {
+		b.Run(map[int32]string{32: "k=32", 128: "k=128"}[k], func(b *testing.B) {
+			g := benchGraph100k()
+			p0 := stream.HP(g, k)
+			cfg := Config{DRP: 8, Shuffles: 0, Seed: 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := p0.Clone()
+				b.StartTimer()
+				if _, err := RefineUniform(g, p, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

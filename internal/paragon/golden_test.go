@@ -1,0 +1,97 @@
+package paragon
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"paragon/internal/gen"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+// assignHash is an order-sensitive FNV-1a digest of a decomposition —
+// two partitionings hash equal iff every vertex has the same owner.
+func assignHash(p *partition.Partitioning) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, a := range p.Assign {
+		buf[0] = byte(a)
+		buf[1] = byte(a >> 8)
+		buf[2] = byte(a >> 16)
+		buf[3] = byte(a >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// TestGoldenRefineHashes pins the exact output of Refine for fixed seeds.
+// The hashes were recorded on the pre-index scan-based implementation;
+// the index-based hot path must reproduce them bit-identically, because
+// the incremental boundary index is a pure mechanical-sympathy change
+// (same candidates, same gains, same heap order, same moves).
+func TestGoldenRefineHashes(t *testing.T) {
+	cases := []struct {
+		name string
+		want uint64
+		run  func(t *testing.T) *partition.Partitioning
+	}{
+		{
+			name: "rmat-arch-aware-khop1",
+			want: 0xcfbf24f80f800b81,
+			run: func(t *testing.T) *partition.Partitioning {
+				g := gen.RMAT(5000, 30000, 0.57, 0.19, 0.19, 9)
+				g.UseDegreeWeights()
+				cl := topology.PittCluster(2)
+				k := 32
+				c, err := cl.PartitionCostMatrix(k, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nodeOf, err := cl.NodeOf(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := stream.DG(g, int32(k), stream.DefaultOptions())
+				if _, err := Refine(g, p, c, Config{DRP: 4, Shuffles: 3, Seed: 77, KHop: 1, NodeOf: nodeOf}); err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+		},
+		{
+			name: "mesh-uniform-drp8",
+			want: 0x2faf8c0c76b878fe,
+			run: func(t *testing.T) *partition.Partitioning {
+				g := gen.Mesh2D(80, 80)
+				p := stream.HP(g, 16)
+				if _, err := RefineUniform(g, p, Config{DRP: 8, Shuffles: 2, Seed: 5}); err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+		},
+		{
+			name: "ba-serial-drp1",
+			want: 0x70ab2339be197053,
+			run: func(t *testing.T) *partition.Partitioning {
+				g := gen.BarabasiAlbert(3000, 4, 3)
+				g.UseDegreeWeights()
+				p := stream.LDG(g, 8, stream.DefaultOptions())
+				if _, err := RefineUniform(g, p, Config{DRP: 1, Shuffles: 1, Seed: 11}); err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := assignHash(tc.run(t))
+			t.Logf("assign hash %s = %#x", tc.name, got)
+			if tc.want != 0 && got != tc.want {
+				t.Fatalf("assign hash = %#x, want %#x — refinement output drifted from the scan-based reference", got, tc.want)
+			}
+		})
+	}
+}

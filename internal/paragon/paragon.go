@@ -174,35 +174,50 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 	st.ExchangeRegions = int((int64(g.NumVertices()) + regionSize - 1) / regionSize)
 
 	groups := randomGrouping(k, cfg.DRP, rng)
+	// One incrementally maintained index serves every round: the exchange
+	// phase applies each kept move through it, so boundary counts, bucket
+	// membership, and incident-edge sums stay current without per-round
+	// full-graph rebuilds or per-pair full-graph scans.
+	ix := partition.BuildIndex(g, p)
+	serverOf := make([]int32, k) // partition -> its group's server this round
 	st.Rounds = 1 + cfg.Shuffles
 	for round := 0; round < st.Rounds; round++ {
-		// Group-server selection (Eq. 10) with fresh partition stats.
-		ps := p.IncidentEdges(g)
+		// Group-server selection (Eq. 10) from the maintained
+		// incident-edge sums — no rescan.
+		ps := ix.IncidentEdges()
 		servers := SelectGroupServers(groups, ps, c, cfg.NodeOf, cfg.DRP)
 		st.GroupServers = append(st.GroupServers, servers)
 
 		// Volume accounting: every member partition ships its k-hop
 		// boundary set to the group server (the server's own partition
-		// stays put).
-		allowed := allowedMask(g, p, groups, cfg.KHop)
+		// stays put). A single pass over the vertices, bucketed by owner
+		// through serverOf, replaces the old groups×members×|V| loops.
+		allowed := allowedMask(g, ix, cfg.KHop)
+		for i := range serverOf {
+			serverOf[i] = -1
+		}
 		for gi, grp := range groups {
 			for _, pi := range grp {
-				if pi == servers[gi] {
-					continue
-				}
-				for v := int32(0); v < g.NumVertices(); v++ {
-					if p.Assign[v] == pi && allowed[v] {
-						st.BoundaryShipped++
-						st.ShippedEdgeVolume += int64(g.Degree(v))
-					}
-				}
+				serverOf[pi] = servers[gi]
+			}
+		}
+		for v := int32(0); v < g.NumVertices(); v++ {
+			if !allowed[v] {
+				continue
+			}
+			pv := p.Assign[v]
+			if sv := serverOf[pv]; sv >= 0 && sv != pv {
+				st.BoundaryShipped++
+				st.ShippedEdgeVolume += int64(g.Degree(v))
 			}
 		}
 
 		// Parallel group refinement against a shared snapshot: each
 		// group server refines its pairs on a private copy of the
 		// locations, exactly as the real system refines the vertices it
-		// received; changes propagate at the end-of-round exchange.
+		// received; changes propagate at the end-of-round exchange. The
+		// master index is read-only here: every group copies out just its
+		// own partitions' buckets (disjoint, O(|V|) total per round).
 		snapshot := append([]int32(nil), p.Assign...)
 		results := make([]groupOutcome, len(groups))
 		var wg sync.WaitGroup
@@ -210,13 +225,15 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 			wg.Add(1)
 			go func(gi int) {
 				defer wg.Done()
-				results[gi] = refineGroup(g, snapshot, orig, groups[gi], c, loads, maxLoad, cfg, allowed)
+				results[gi] = refineGroup(g, ix, snapshot, orig, groups[gi], c, loads, maxLoad, cfg, allowed)
 			}(gi)
 		}
 		wg.Wait()
 
 		// Exchange phase: apply every group's moves. Groups own disjoint
 		// partitions, so their move sets are disjoint by construction.
+		// Moves flow through the index to keep it consistent for the
+		// next round.
 		var roundGain float64
 		for _, r := range results {
 			st.PairsRefined += r.pairs
@@ -225,7 +242,7 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 			roundGain += r.result.Gain
 			for _, mv := range r.moves {
 				from := p.Assign[mv.v]
-				p.Assign[mv.v] = mv.to
+				ix.Move(mv.v, mv.to)
 				w := int64(g.VertexWeight(mv.v))
 				loads[from] -= w
 				loads[mv.to] += w
@@ -283,21 +300,29 @@ type groupOutcome struct {
 }
 
 // refineGroup is the per-group-server work: refine all pairs of the
-// group against a private view of the snapshot.
-func refineGroup(g *graph.Graph, snapshot, orig []int32, group []int32, c [][]float64, globalLoads []int64, maxLoad int64, cfg Config, allowed []bool) groupOutcome {
+// group against a private view of the snapshot. The group maintains a
+// private bucket index (GroupView) seeded from the master index, so every
+// pair enumerates candidates from its two buckets instead of scanning the
+// whole vertex array, and one aragon.Refiner amortizes scratch state
+// across the group's pair loop.
+func refineGroup(g *graph.Graph, ix *partition.Index, snapshot, orig []int32, group []int32, c [][]float64, globalLoads []int64, maxLoad int64, cfg Config, allowed []bool) groupOutcome {
 	view := &partition.Partitioning{K: int32(len(c)), Assign: append([]int32(nil), snapshot...)}
+	gix := ix.GroupView(view, group)
 	loads := append([]int64(nil), globalLoads...)
-	acfg := cfg.aragonConfig()
+	ref := aragon.NewRefiner(g, gix, cfg.aragonConfig())
 	var out groupOutcome
 	for i := 0; i < len(group); i++ {
 		for j := i + 1; j < len(group); j++ {
-			r := aragon.RefinePairAllowed(g, view, orig, group[i], group[j], c, loads, maxLoad, acfg, allowed)
+			r := ref.RefinePair(orig, group[i], group[j], c, loads, maxLoad, allowed)
 			out.result.Moves += r.Moves
 			out.result.Gain += r.Gain
 			out.pairs++
 		}
 	}
-	for v := int32(0); v < int32(len(snapshot)); v++ {
+	// All moves stay inside the group's partitions, so the changed
+	// vertices are a subset of the group's snapshot members — diff those
+	// instead of sweeping all of |V|.
+	for _, v := range gix.Members() {
 		if view.Assign[v] != snapshot[v] {
 			out.moves = append(out.moves, move{v, view.Assign[v]})
 		}
@@ -307,23 +332,20 @@ func refineGroup(g *graph.Graph, snapshot, orig []int32, group []int32, c [][]fl
 
 // allowedMask returns the movable-vertex mask of §5: vertices within
 // cfg.KHop hops of any partition boundary. With k=0 this is exactly the
-// boundary vertex set.
-func allowedMask(g *graph.Graph, p *partition.Partitioning, groups [][]int32, kHop int) []bool {
+// boundary vertex set, read straight off the index's maintained
+// external-neighbor counts — no edge traversal.
+func allowedMask(g *graph.Graph, ix *partition.Index, kHop int) []bool {
 	n := g.NumVertices()
 	mask := make([]bool, n)
-	var seeds []int32
-	for v := int32(0); v < n; v++ {
-		if partition.IsBoundary(g, p, v) {
-			seeds = append(seeds, v)
-		}
-	}
 	if kHop <= 0 {
-		for _, v := range seeds {
-			mask[v] = true
+		for v := int32(0); v < n; v++ {
+			if ix.IsBoundary(v) {
+				mask[v] = true
+			}
 		}
 		return mask
 	}
-	for _, v := range graph.ExpandFrontier(g, seeds, kHop) {
+	for _, v := range graph.ExpandFrontier(g, ix.Boundary(), kHop) {
 		mask[v] = true
 	}
 	return mask

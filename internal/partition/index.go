@@ -1,0 +1,342 @@
+package partition
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"paragon/internal/graph"
+)
+
+// This file holds the incrementally maintained hot-path data structures
+// behind the ARAGON/PARAGON refiners. The naive refinement loop re-scans
+// every vertex of the graph for every partition pair — O(k²·|V|) of pure
+// scanning per sweep. The Index replaces those scans with per-partition
+// vertex buckets plus a per-vertex external-neighbor count, both updated
+// in O(deg(v)) on every Move, so enumerating the candidates of a pair
+// costs O(|P_i| + |P_j|) instead of O(|V|). See DESIGN.md §"Hot-path
+// data structures" for the complexity table and the Move invariants.
+
+// PairIndexer is the minimal surface the pairwise refiner needs: candidate
+// enumeration for a partition pair and delta-maintained vertex moves.
+// Index (full boundary tracking) and GroupIndex (a group server's private
+// bucket view) both implement it.
+type PairIndexer interface {
+	// Partitioning returns the decomposition the indexer maintains;
+	// Move must keep its Assign array in sync.
+	Partitioning() *Partitioning
+	// AppendPairCandidates appends the movable candidates of the pair
+	// (pi, pj) to dst in ascending vertex order and returns dst. With a
+	// non-nil mask, the candidates are exactly the members of the two
+	// partitions with allowed[v]; with a nil mask they are the pair's
+	// boundary vertices.
+	AppendPairCandidates(dst []int32, pi, pj int32, allowed []bool) []int32
+	// Move reassigns v, updating the underlying partitioning and every
+	// incrementally maintained structure.
+	Move(v, to int32)
+}
+
+// Index is the full incremental refinement index over a partitioning:
+// per-partition vertex buckets, per-vertex external-neighbor counts (the
+// boundary test), and per-partition incident-edge sums (ps of Eq. 10).
+//
+// Invariants preserved by Move, for every vertex v and partition q:
+//
+//	buckets[q] holds exactly {v : Assign[v] == q}, each at pos[v];
+//	ext[v] == |{u ∈ N(v) : Assign[u] != Assign[v]}|;
+//	incident[q] == Σ_{v ∈ buckets[q]} deg(v).
+//
+// All queries are O(1) or output-sensitive; Move is O(deg(v)).
+type Index struct {
+	g        *graph.Graph
+	p        *Partitioning
+	ext      []int32   // per-vertex count of neighbors outside own partition
+	buckets  [][]int32 // per-partition vertex lists (unordered, swap-delete)
+	pos      []int32   // vertex -> position in its bucket
+	incident []int64   // per-partition Σ deg(v)
+}
+
+// BuildIndex constructs the index for p over g in O(|V| + |E|). The index
+// keeps references to both; all subsequent moves must go through Move so
+// the maintained structures stay consistent with p.Assign.
+func BuildIndex(g *graph.Graph, p *Partitioning) *Index {
+	n := g.NumVertices()
+	ix := &Index{
+		g:        g,
+		p:        p,
+		ext:      make([]int32, n),
+		buckets:  make([][]int32, p.K),
+		pos:      make([]int32, n),
+		incident: make([]int64, p.K),
+	}
+	for v := int32(0); v < n; v++ {
+		pv := p.Assign[v]
+		ix.pos[v] = int32(len(ix.buckets[pv]))
+		ix.buckets[pv] = append(ix.buckets[pv], v)
+		ix.incident[pv] += int64(g.Degree(v))
+		var ext int32
+		for _, u := range g.Neighbors(v) {
+			if p.Assign[u] != pv {
+				ext++
+			}
+		}
+		ix.ext[v] = ext
+	}
+	return ix
+}
+
+// Partitioning returns the decomposition this index maintains.
+func (ix *Index) Partitioning() *Partitioning { return ix.p }
+
+// Move reassigns v to partition `to` in O(deg(v)): the bucket membership,
+// the external-neighbor counts of v and all its neighbors, and the
+// incident-edge sums are all delta-updated. A self-move is a no-op.
+func (ix *Index) Move(v, to int32) {
+	from := ix.p.Assign[v]
+	if from == to {
+		return
+	}
+	ix.bucketRemove(v, from)
+	ix.pos[v] = int32(len(ix.buckets[to]))
+	ix.buckets[to] = append(ix.buckets[to], v)
+	deg := int64(ix.g.Degree(v))
+	ix.incident[from] -= deg
+	ix.incident[to] += deg
+	ix.p.Assign[v] = to
+	var extV int32
+	for _, u := range ix.g.Neighbors(v) {
+		switch ix.p.Assign[u] {
+		case from:
+			ix.ext[u]++ // v left u's partition
+		case to:
+			ix.ext[u]-- // v joined u's partition
+		}
+		if ix.p.Assign[u] != to {
+			extV++
+		}
+	}
+	ix.ext[v] = extV
+}
+
+func (ix *Index) bucketRemove(v, q int32) {
+	b := ix.buckets[q]
+	i := ix.pos[v]
+	last := int32(len(b)) - 1
+	w := b[last]
+	b[i] = w
+	ix.pos[w] = i
+	ix.buckets[q] = b[:last]
+}
+
+// IsBoundary reports whether v has a neighbor outside its own partition,
+// in O(1) from the maintained count.
+func (ix *Index) IsBoundary(v int32) bool { return ix.ext[v] > 0 }
+
+// ExternalNeighbors returns the maintained count of v's neighbors outside
+// its own partition.
+func (ix *Index) ExternalNeighbors(v int32) int32 { return ix.ext[v] }
+
+// Boundary returns every boundary vertex in ascending order — one O(|V|)
+// sweep over the maintained counts, with no edge traversal.
+func (ix *Index) Boundary() []int32 {
+	var out []int32
+	for v := int32(0); v < int32(len(ix.ext)); v++ {
+		if ix.ext[v] > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PartitionVertices returns the vertices of partition q in bucket order
+// (unordered). The slice aliases internal storage: it must not be modified
+// and is invalidated by the next Move.
+func (ix *Index) PartitionVertices(q int32) []int32 { return ix.buckets[q] }
+
+// IncidentEdges returns a copy of the maintained per-partition
+// incident-edge sums — the ps[i] of Eq. 10, without the O(|V|) rescan of
+// Partitioning.IncidentEdges.
+func (ix *Index) IncidentEdges() []int64 {
+	return append([]int64(nil), ix.incident...)
+}
+
+// PairCandidates returns the boundary vertices of the pair (pi, pj) in
+// ascending order.
+func (ix *Index) PairCandidates(pi, pj int32) []int32 {
+	return ix.AppendPairCandidates(nil, pi, pj, nil)
+}
+
+// AppendPairCandidates implements PairIndexer: candidates are gathered
+// from the two buckets — O(|P_i| + |P_j| + c·log c) — instead of a full
+// vertex scan, and returned in ascending vertex order (the order the
+// scan-based enumeration produced, which the refiner's heap tie-breaking
+// depends on).
+func (ix *Index) AppendPairCandidates(dst []int32, pi, pj int32, allowed []bool) []int32 {
+	n0 := len(dst)
+	for _, b := range [2][]int32{ix.buckets[pi], ix.buckets[pj]} {
+		for _, v := range b {
+			if allowed != nil {
+				if allowed[v] {
+					dst = append(dst, v)
+				}
+			} else if ix.ext[v] > 0 {
+				dst = append(dst, v)
+			}
+		}
+	}
+	slices.Sort(dst[n0:])
+	return dst
+}
+
+// Validate checks every maintained invariant against a from-scratch
+// rebuild. O(|V| + |E|); intended for tests.
+func (ix *Index) Validate() error {
+	fresh := BuildIndex(ix.g, ix.p.Clone())
+	for v := range ix.ext {
+		if ix.ext[v] != fresh.ext[v] {
+			return fmt.Errorf("index: ext[%d] = %d, want %d", v, ix.ext[v], fresh.ext[v])
+		}
+	}
+	for q := int32(0); q < ix.p.K; q++ {
+		if ix.incident[q] != fresh.incident[q] {
+			return fmt.Errorf("index: incident[%d] = %d, want %d", q, ix.incident[q], fresh.incident[q])
+		}
+		a := append([]int32(nil), ix.buckets[q]...)
+		b := append([]int32(nil), fresh.buckets[q]...)
+		slices.Sort(a)
+		slices.Sort(b)
+		if !slices.Equal(a, b) {
+			return fmt.Errorf("index: bucket %d membership diverged", q)
+		}
+	}
+	for v, q := range ix.p.Assign {
+		if ix.pos[v] < 0 || ix.pos[v] >= int32(len(ix.buckets[q])) || ix.buckets[q][ix.pos[v]] != int32(v) {
+			return fmt.Errorf("index: pos[%d] inconsistent with bucket %d", v, q)
+		}
+	}
+	return nil
+}
+
+// GroupIndex is a PARAGON group server's private delta view over a round
+// snapshot: bucket membership for only the group's partitions, maintained
+// on Move with O(1) bucket updates. It tracks no boundary counts — group
+// refinement always runs under the round's k-hop allowed mask, which
+// subsumes the boundary test — so Move is O(1), not O(deg).
+type GroupIndex struct {
+	p       *Partitioning
+	buckets [][]int32
+	pos     []int32
+	members []int32 // snapshot membership of the group's partitions, ascending
+}
+
+// GroupView builds a group server's private index over view, a copy of
+// the snapshot this index currently describes. Only the buckets of the
+// group's partitions are copied — O(Σ |P_i|, i ∈ group) — so the per-round
+// cost across all (disjoint) groups totals O(|V|), and the base index can
+// be shared read-only between concurrent group servers.
+func (ix *Index) GroupView(view *Partitioning, group []int32) *GroupIndex {
+	gx := &GroupIndex{
+		p:       view,
+		buckets: make([][]int32, view.K),
+		pos:     make([]int32, len(ix.pos)),
+	}
+	total := 0
+	for _, pi := range group {
+		total += len(ix.buckets[pi])
+	}
+	members := make([]int32, 0, total)
+	for _, pi := range group {
+		b := append([]int32(nil), ix.buckets[pi]...)
+		gx.buckets[pi] = b
+		for i, v := range b {
+			gx.pos[v] = int32(i)
+		}
+		members = append(members, b...)
+	}
+	slices.Sort(members)
+	gx.members = members
+	return gx
+}
+
+// Partitioning returns the group's private view of the decomposition.
+func (gx *GroupIndex) Partitioning() *Partitioning { return gx.p }
+
+// Members returns the vertices owned by the group's partitions at
+// snapshot time, ascending. Every vertex the group can move is in this
+// set, so diffing it against the snapshot yields the group's move list
+// without an O(|V|) sweep.
+func (gx *GroupIndex) Members() []int32 { return gx.members }
+
+// Move implements PairIndexer for the group's partitions in O(1).
+func (gx *GroupIndex) Move(v, to int32) {
+	from := gx.p.Assign[v]
+	if from == to {
+		return
+	}
+	b := gx.buckets[from]
+	i := gx.pos[v]
+	last := int32(len(b)) - 1
+	w := b[last]
+	b[i] = w
+	gx.pos[w] = i
+	gx.buckets[from] = b[:last]
+	gx.pos[v] = int32(len(gx.buckets[to]))
+	gx.buckets[to] = append(gx.buckets[to], v)
+	gx.p.Assign[v] = to
+}
+
+// AppendPairCandidates implements PairIndexer. A GroupIndex tracks no
+// boundary counts, so the mask is mandatory.
+func (gx *GroupIndex) AppendPairCandidates(dst []int32, pi, pj int32, allowed []bool) []int32 {
+	if allowed == nil {
+		panic("partition: GroupIndex.AppendPairCandidates requires an allowed mask (group views keep no boundary counts)")
+	}
+	n0 := len(dst)
+	for _, b := range [2][]int32{gx.buckets[pi], gx.buckets[pj]} {
+		for _, v := range b {
+			if allowed[v] {
+				dst = append(dst, v)
+			}
+		}
+	}
+	slices.Sort(dst[n0:])
+	return dst
+}
+
+// ExternalDegreesSparse is the sparse-reset form of ExternalDegreesInto:
+// buf (length >= K) must be all-zero on entry; d_ext(v, ·) is accumulated
+// into it and the distinct partitions touched are appended to tlist,
+// ascending, and returned. mask is a caller-owned bitmap of at least
+// ⌈K/64⌉ words, all-zero on entry and restored to all-zero on return — it
+// is how the touched set comes out sorted without a per-call sort, which
+// profiles as the dominant cost of gain evaluation otherwise. The caller
+// reads buf at the returned indices and must re-zero exactly those
+// entries before the next call. One gain evaluation over the result is
+// O(deg(v) + K/64 + t) with t <= min(deg, K), instead of the
+// O(deg(v) + K) of a dense zero-and-refill.
+func ExternalDegreesSparse(g *graph.Graph, p *Partitioning, v int32, buf []int64, mask []uint64, tlist []int32) []int32 {
+	adj := g.Neighbors(v)
+	w := g.EdgeWeights(v)
+	w = w[:len(adj)]
+	for i, u := range adj {
+		pu := p.Assign[u]
+		buf[pu] += int64(w[i])
+		mask[pu>>6] |= 1 << (pu & 63)
+	}
+	for wi, b := range mask {
+		if b == 0 {
+			continue
+		}
+		mask[wi] = 0
+		base := int32(wi << 6)
+		for b != 0 {
+			tlist = append(tlist, base+int32(bits.TrailingZeros64(b)))
+			b &= b - 1
+		}
+	}
+	return tlist
+}
+
+// MaskWords returns the bitmap length ExternalDegreesSparse needs for k
+// partitions.
+func MaskWords(k int32) int { return (int(k) + 63) / 64 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs the refinement hot-path benchmarks (BenchmarkRefinePairHot,
+# BenchmarkParagonRound — 100k-vertex RMAT, k ∈ {32, 128}) and emits
+# BENCH_refine.json with ns/op and allocs/op for each, next to the
+# recorded pre-index baseline so the speedup is visible in one file.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=10x scripts/bench.sh   # more iterations for stable numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_refine.json}"
+benchtime="${BENCHTIME:-5x}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkRefinePairHot' -benchmem -benchtime "$benchtime" ./internal/aragon/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkParagonRound' -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee -a "$tmp"
+
+# Benchmark lines look like:
+#   BenchmarkParagonRound/k=128-8   5   336316376 ns/op   15844968 B/op   2307 allocs/op
+# The baseline block is the scan-based implementation (commit a4d204a,
+# before internal/partition.Index) on the same graphs and configs.
+awk -v out="$out" -v benchtime="$benchtime" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip -GOMAXPROCS suffix
+    ns[name] = $3
+    allocs[name] = $7
+    if (!(name in seen)) { seen[name] = 1; order[n++] = name }
+}
+END {
+    if (n == 0) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf("{\n")                                               > out
+    printf("  \"benchtime\": \"%s\",\n", benchtime)             > out
+    printf("  \"graph\": \"RMAT n=100000 m=800000 seed=42, degree weights\",\n") > out
+    printf("  \"baseline\": {\n")                               > out
+    printf("    \"commit\": \"a4d204a (pre-index scan-based refinement)\",\n") > out
+    printf("    \"BenchmarkRefinePairHot/k=32\":  { \"ns_op\": 3065617,    \"allocs_op\": 50 },\n")    > out
+    printf("    \"BenchmarkRefinePairHot/k=128\": { \"ns_op\": 1253660,    \"allocs_op\": 30 },\n")    > out
+    printf("    \"BenchmarkParagonRound/k=32\":   { \"ns_op\": 159739650,  \"allocs_op\": 2528 },\n")  > out
+    printf("    \"BenchmarkParagonRound/k=128\":  { \"ns_op\": 1386737586, \"allocs_op\": 28217 }\n")  > out
+    printf("  },\n")                                            > out
+    printf("  \"current\": {\n")                                > out
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf("    \"%s\": { \"ns_op\": %s, \"allocs_op\": %s }%s\n",
+               name, ns[name], allocs[name], (i < n - 1) ? "," : "") > out
+    }
+    printf("  }\n}\n")                                          > out
+}
+' "$tmp"
+
+echo "bench: wrote $out"

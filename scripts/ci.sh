@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: vet, build, full test suite, then the race detector on the
+# refinement packages (DESIGN.md §8 requires `go test -race` to stay
+# clean on everything that shares state across goroutines).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/paragon/ ./internal/aragon/ ./internal/partition/
+
+echo "ci: all green"
