@@ -197,7 +197,11 @@ func (r Region) Propagate(servers []*Server) (int64, error) {
 		for i := range merged {
 			merged[i] = -1
 		}
+		// Conflicting updates abort mid-iteration, so which conflict is
+		// reported depends on map order; the success path only performs
+		// per-key writes and is order-independent.
 		for _, s := range servers {
+			//lint:ignore maprange early exit fires only on a protocol violation PARAGON's disjoint grouping rules out
 			for v, loc := range s.Updates {
 				if int64(v) < lo || int64(v) >= hi {
 					continue
@@ -224,10 +228,10 @@ func (r Region) Propagate(servers []*Server) (int64, error) {
 		var wg sync.WaitGroup
 		for _, s := range servers {
 			wg.Add(1)
-			go func(s *Server) {
+			go func(s *Server, lo, hi int64) {
 				defer wg.Done()
 				copy(s.Locations[lo:hi], merged)
-			}(s)
+			}(s, lo, hi)
 		}
 		wg.Wait()
 		volume += (hi - lo) * 4

@@ -10,12 +10,15 @@ import (
 // an error or a graph that passes Validate — never panic, never produce
 // a corrupt CSR.
 
-func FuzzReadMETIS(f *testing.F) {
+func FuzzParseMETIS(f *testing.F) {
 	f.Add("3 3\n2 3\n1 3\n1 2\n")
 	f.Add("2 1 11\n1 1 2 5\n1 1 1 5\n")
 	f.Add("% comment\n1 0\n\n")
 	f.Add("3 2 100\n7 2\n7 1 3\n7 2\n")
 	f.Add("junk")
+	f.Add("-1 0\n")         // negative n once flowed into make() and panicked
+	f.Add("1 -5\n\n")       // negative m
+	f.Add("2147483648 0\n") // n overflows int32
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := ReadMETIS(strings.NewReader(in))
 		if err != nil {

@@ -63,6 +63,11 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("graph: METIS header m: %w", err)
 	}
+	// A negative n would flow into make() inside NewBuilder and panic;
+	// reject both counts up front (found by FuzzParseMETIS).
+	if n64 < 0 || m64 < 0 {
+		return nil, fmt.Errorf("graph: METIS header has negative count: n=%d m=%d", n64, m64)
+	}
 	var hasVSize, hasVWgt, hasEWgt bool
 	if len(fields) >= 3 {
 		code := fields[2]

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatSum flags reordering-sensitive floating-point accumulation in the
+// two contexts where the summation order is not fixed: ranging over a
+// map, and goroutine bodies. Floating-point addition is not associative,
+// so `gain += x` in either context produces run-to-run ULP drift that
+// the golden-hash tests amplify into full failures. Gain code paths
+// accumulate through a deterministic drain instead — aragon.Refiner
+// collects per-candidate gains in a slot array and drains a sparse
+// bitmap in index order; parallel reductions (paragon, bsp, gas) reduce
+// per-worker partials in rank order after the barrier.
+type FloatSum struct {
+	// Deterministic reports whether a package is under the determinism
+	// contract. Nil covers every package.
+	Deterministic func(path string) bool
+}
+
+func (FloatSum) Name() string { return "floatsum" }
+func (FloatSum) Doc() string {
+	return "floating-point accumulation must happen in a deterministic order"
+}
+
+func (c FloatSum) Check(pkg *Package) []Diagnostic {
+	if c.Deterministic != nil && !c.Deterministic(pkg.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if isMapType(pkg, n.X) {
+					out = append(out, c.scanBody(pkg, n.Body, "map-iteration")...)
+				}
+			case *ast.GoStmt:
+				if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					out = append(out, c.scanBody(pkg, fl.Body, "goroutine-interleaving")...)
+				}
+			}
+			return true
+		})
+	}
+	return dedupeDiags(out)
+}
+
+func (c FloatSum) scanBody(pkg *Package, body *ast.BlockStmt, order string) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		case token.ASSIGN:
+			// x = x + y spelled out.
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+				return true
+			}
+			if exprString(bin.X) != exprString(as.Lhs[0]) && exprString(bin.Y) != exprString(as.Lhs[0]) {
+				return true
+			}
+		default:
+			return true
+		}
+		if !isFloatExpr(pkg, as.Lhs[0]) {
+			return true
+		}
+		out = append(out, diag(pkg, as.Pos(), "floatsum",
+			"floating-point accumulation into %s in %s order is nondeterministic; drain in a fixed order (see aragon.Refiner's bitmap drain)",
+			exprString(as.Lhs[0]), order))
+		return true
+	})
+	return out
+}
+
+// dedupeDiags drops duplicate positions (a float += inside a map range
+// inside a goroutine would otherwise report twice).
+func dedupeDiags(in []Diagnostic) []Diagnostic {
+	seen := map[string]bool{}
+	var out []Diagnostic
+	for _, d := range in {
+		key := d.Pos.String() + d.Message
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding is silenced by a comment of the form
+//
+//	//lint:ignore <checker>[,<checker>...] <reason>
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. The checker list may be "all". The reason is
+// mandatory: a suppression without a stated justification is itself
+// reported as a diagnostic, so every escape from the determinism
+// contract is documented at the site that needs it.
+
+type ignoreEntry struct {
+	checkers []string // lower-case checker names, or ["all"]
+}
+
+type ignoreSet struct {
+	// byLine maps filename -> line -> directives on that line.
+	byLine    map[string]map[int][]ignoreEntry
+	malformed []Diagnostic
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnores scans every comment of the package for //lint:ignore
+// directives. known holds the valid checker names; a directive naming an
+// unknown checker is reported as malformed rather than silently inert.
+func collectIgnores(pkg *Package, known map[string]bool) *ignoreSet {
+	ig := &ignoreSet{byLine: map[string]map[int][]ignoreEntry{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignored — not our directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					ig.malformed = append(ig.malformed, Diagnostic{
+						Pos:     pos,
+						Checker: "lint",
+						Message: "malformed //lint:ignore: want \"//lint:ignore <checker> <reason>\"",
+					})
+					continue
+				}
+				var checkers []string
+				bad := ""
+				for _, name := range strings.Split(fields[0], ",") {
+					name = strings.ToLower(strings.TrimSpace(name))
+					if name != "all" && !known[name] {
+						bad = name
+						break
+					}
+					checkers = append(checkers, name)
+				}
+				if bad != "" {
+					ig.malformed = append(ig.malformed, Diagnostic{
+						Pos:     pos,
+						Checker: "lint",
+						Message: "//lint:ignore names unknown checker \"" + bad + "\"",
+					})
+					continue
+				}
+				lines := ig.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]ignoreEntry{}
+					ig.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], ignoreEntry{checkers: checkers})
+			}
+		}
+	}
+	return ig
+}
+
+// suppresses reports whether a directive on the diagnostic's line, or on
+// the line directly above it, covers the named checker.
+func (ig *ignoreSet) suppresses(checker string, pos token.Position) bool {
+	lines := ig.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, e := range lines[line] {
+			for _, name := range e.checkers {
+				if name == "all" || name == checker {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

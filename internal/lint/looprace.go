@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LoopRace targets the group-server fan-out pattern (internal/paragon,
+// internal/exchange, internal/migrate, internal/bsp): goroutines or
+// deferred closures spawned from a loop. It enforces two rules:
+//
+//  1. The closure must not capture the loop variables — they are passed
+//     as arguments (`go func(gi int) {...}(gi)`). Go 1.22 made per-
+//     iteration semantics the default, but the pass-as-arg convention
+//     keeps the code correct under older toolchains, makes the data flow
+//     explicit, and is what every fan-out site in this repo does.
+//
+//  2. A goroutine that writes an indexable shared structure declared
+//     outside itself must have a visible synchronization point somewhere
+//     in the enclosing function — a WaitGroup Wait/Done, a mutex, or a
+//     channel operation. Fan-out that mutates shared slices with no sync
+//     in sight is a read-uncommitted bug waiting for the race detector.
+type LoopRace struct{}
+
+func (LoopRace) Name() string { return "looprace" }
+func (LoopRace) Doc() string {
+	return "loop fan-out must pass loop variables as arguments and synchronize shared writes"
+}
+
+func (c LoopRace) Check(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			hasSync := bodyHasSyncPoint(pkg, fn.Body)
+			w := &raceWalker{pkg: pkg, hasSync: hasSync}
+			w.walk(fn.Body, nil)
+			out = append(out, w.diags...)
+			return false
+		})
+	}
+	return out
+}
+
+type raceWalker struct {
+	pkg     *Package
+	hasSync bool
+	diags   []Diagnostic
+}
+
+// walk descends the statement tree carrying the set of loop-variable
+// objects currently in scope.
+func (w *raceWalker) walk(n ast.Node, loopVars []types.Object) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.RangeStmt:
+		vars := loopVars
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if obj := w.pkg.Info.Defs[id]; obj != nil {
+					vars = append(vars, obj)
+				}
+			}
+		}
+		w.walk(n.Body, vars)
+	case *ast.ForStmt:
+		vars := loopVars
+		if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+			for _, lhs := range init.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					if obj := w.pkg.Info.Defs[id]; obj != nil {
+						vars = append(vars, obj)
+					}
+				}
+			}
+		}
+		w.walk(n.Body, vars)
+	case *ast.GoStmt:
+		w.checkSpawn(n.Call, "goroutine", true, loopVars)
+		w.walkCall(n.Call, loopVars)
+	case *ast.DeferStmt:
+		w.checkSpawn(n.Call, "deferred closure", false, loopVars)
+		w.walkCall(n.Call, loopVars)
+	case *ast.BlockStmt:
+		for _, s := range n.List {
+			w.walk(s, loopVars)
+		}
+	case *ast.IfStmt:
+		w.walk(n.Body, loopVars)
+		w.walk(n.Else, loopVars)
+	case *ast.SwitchStmt:
+		w.walk(n.Body, loopVars)
+	case *ast.TypeSwitchStmt:
+		w.walk(n.Body, loopVars)
+	case *ast.SelectStmt:
+		w.walk(n.Body, loopVars)
+	case *ast.CaseClause:
+		for _, s := range n.Body {
+			w.walk(s, loopVars)
+		}
+	case *ast.CommClause:
+		for _, s := range n.Body {
+			w.walk(s, loopVars)
+		}
+	case *ast.LabeledStmt:
+		w.walk(n.Stmt, loopVars)
+	}
+}
+
+// walkCall descends into a spawned func literal so nested loops inside
+// the goroutine are themselves checked.
+func (w *raceWalker) walkCall(call *ast.CallExpr, loopVars []types.Object) {
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		w.walk(fl.Body, nil)
+	}
+	_ = loopVars
+}
+
+func (w *raceWalker) checkSpawn(call *ast.CallExpr, kind string, isGo bool, loopVars []types.Object) {
+	fl, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	if len(loopVars) > 0 {
+		for _, captured := range capturedOf(w.pkg, fl, loopVars) {
+			w.diags = append(w.diags, diag(w.pkg, fl.Pos(), "looprace",
+				"%s captures loop variable %s; pass it as an argument (go func(%s ...) {...}(%s))",
+				kind, captured.Name(), captured.Name(), captured.Name()))
+		}
+	}
+	if isGo && !w.hasSync {
+		if target := sharedWrite(w.pkg, fl); target != "" {
+			w.diags = append(w.diags, diag(w.pkg, fl.Pos(), "looprace",
+				"goroutine writes shared %s but the enclosing function has no synchronization point (WaitGroup, mutex, or channel)", target))
+		}
+	}
+}
+
+// capturedOf returns the loop variables referenced inside the func
+// literal body (uses resolving to the loop-var objects themselves, not
+// to shadowing parameters).
+func capturedOf(pkg *Package, fl *ast.FuncLit, loopVars []types.Object) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		for _, lv := range loopVars {
+			if obj == lv {
+				seen[obj] = true
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sharedWrite reports the first indexed write inside the literal whose
+// base is declared outside it ("results[i] = ..." against an outer
+// slice/map), which is the shared-mutation half of the race pattern.
+func sharedWrite(pkg *Package, fl *ast.FuncLit) string {
+	found := ""
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			ix, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			base, ok := ix.X.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pkg.Info.Uses[base]
+			if obj == nil {
+				continue
+			}
+			if obj.Pos() < fl.Pos() || obj.Pos() > fl.End() {
+				found = base.Name
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// bodyHasSyncPoint scans for any evidence of synchronization in the
+// function: WaitGroup/mutex method calls, channel sends/receives, or
+// close().
+func bodyHasSyncPoint(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pkg, n.Fun, "close") {
+				found = true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Wait", "Done", "Lock", "Unlock", "RLock", "RUnlock":
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := typeOf(pkg, n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,23 @@
+// Package fixture uses ambient randomness; every use below must be
+// reported.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Package-level helpers draw from the shared global source.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func pick(n int) int {
+	return rand.Intn(n)
+}
+
+// Wall-clock seeding defeats reproducibility even through a
+// constructor.
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}

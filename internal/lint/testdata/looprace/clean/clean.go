@@ -1,0 +1,30 @@
+// Package fixture shows the sanctioned fan-out shape; nothing here may
+// be reported.
+package fixture
+
+import "sync"
+
+// Loop state is passed as arguments and the WaitGroup provides the
+// synchronization point for the shared-slice writes.
+func fanOut(items []int, results []int) {
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i, it int) {
+			defer wg.Done()
+			results[i] = it * 2
+		}(i, it)
+	}
+	wg.Wait()
+}
+
+// A capture silenced with a reasoned directive (and a channel as the
+// synchronization point).
+func suppressed(items []int, out chan<- int) {
+	for i := range items {
+		//lint:ignore looprace per-iteration loop vars make this capture safe; results merge through the channel
+		go func() {
+			out <- i
+		}()
+	}
+}

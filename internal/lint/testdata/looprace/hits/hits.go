@@ -1,0 +1,23 @@
+// Package fixture spawns goroutines and defers that race on loop state;
+// every spawn below must be reported.
+package fixture
+
+// Classic fan-out bug: the closure captures the loop variables and
+// writes a shared slice with no synchronization in sight.
+func fanOut(items []int, results []int) {
+	for i, it := range items {
+		go func() {
+			results[i] = it * 2
+		}()
+	}
+}
+
+// Deferred closures capture the last loop value under pre-1.22
+// semantics and are fragile either way; pass the value as an argument.
+func deferred(files []string) {
+	for _, f := range files {
+		defer func() {
+			println(f)
+		}()
+	}
+}

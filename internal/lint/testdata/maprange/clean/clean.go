@@ -1,0 +1,51 @@
+// Package fixture holds map-range loops that are provably
+// order-insensitive or explicitly suppressed; nothing here may be
+// reported.
+package fixture
+
+import "sort"
+
+// Draining a map with delete touches every key exactly once regardless
+// of order.
+func drain(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Per-key writes: each iteration writes only the slot indexed by its
+// own key, so the final state is order-independent.
+func scatter(updates map[int32]int32, locations []int32) {
+	for v, loc := range updates {
+		locations[v] = loc
+	}
+}
+
+// Collect-then-sort: keys leave the loop in map order but are sorted
+// before anyone observes them.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Commutative integer accumulation is exact, so order cannot matter.
+func totalLen(m map[string][]int) int {
+	n := 0
+	for _, list := range m {
+		n += len(list)
+	}
+	return n
+}
+
+// An order-sensitive loop silenced with a reasoned directive.
+func anyKey(m map[int]int) int {
+	//lint:ignore maprange any key works here; the caller only probes emptiness
+	for k := range m {
+		return k
+	}
+	return -1
+}

@@ -1,0 +1,56 @@
+// Package fixture exercises //lint:ignore handling: placement on the
+// diagnostic line and the line above, plus malformed directives that
+// must themselves be reported while leaving the finding unsuppressed.
+package fixture
+
+// Directive trailing the offending line suppresses it.
+func sameLine(m map[int]int) int {
+	x := 0
+	for k := range m { //lint:ignore maprange same-line directive with a reason
+		x = k
+	}
+	return x
+}
+
+// Directive on the line directly above suppresses it.
+func lineAbove(m map[int]int) int {
+	x := 0
+	//lint:ignore maprange directive on the line above, with a reason
+	for k := range m {
+		x = k
+	}
+	return x
+}
+
+// A directive without a reason is malformed: it is reported and does
+// not suppress the finding.
+func missingReason(m map[int]int) int {
+	x := 0
+	//lint:ignore maprange
+	for k := range m {
+		x = k
+	}
+	return x
+}
+
+// A directive naming an unknown checker is reported and does not
+// suppress the finding.
+func unknownChecker(m map[int]int) int {
+	x := 0
+	//lint:ignore nosuchcheck the checker name is wrong on purpose
+	for k := range m {
+		x = k
+	}
+	return x
+}
+
+// A directive two lines above the finding is out of range and does not
+// suppress it.
+func tooFarAway(m map[int]int) int {
+	//lint:ignore maprange too far from the for loop to apply
+	x := 0
+	for k := range m {
+		x = k
+	}
+	return x
+}

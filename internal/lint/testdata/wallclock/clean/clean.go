@@ -1,0 +1,25 @@
+// Package fixture shows clock usage that the checker accepts: duration
+// types without clock reads, and reads silenced at a driver boundary.
+package fixture
+
+import "time"
+
+type stats struct {
+	Elapsed time.Duration
+}
+
+// Handling time.Duration values is fine; only reading the clock is not.
+func accumulate(s *stats, d time.Duration) {
+	s.Elapsed += d
+}
+
+// Driver-boundary stopwatch, silenced with a reason.
+func drive() stats {
+	//lint:ignore wallclock stopwatch at the driver boundary; kernels stay clock-free
+	start := time.Now()
+	refine()
+	//lint:ignore wallclock stopwatch at the driver boundary; kernels stay clock-free
+	return stats{Elapsed: time.Since(start)}
+}
+
+func refine() {}

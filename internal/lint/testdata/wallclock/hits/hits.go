@@ -1,0 +1,13 @@
+// Package fixture reads the wall clock inside what the checker treats
+// as a refinement kernel; both reads must be reported.
+package fixture
+
+import "time"
+
+func refineTimed() time.Duration {
+	start := time.Now()
+	refine()
+	return time.Since(start)
+}
+
+func refine() {}

@@ -96,6 +96,7 @@ func PartitionKWay(g *graph.Graph, k int32, opt Options) *partition.Partitioning
 func kwayRefine(g *graph.Graph, p *partition.Partitioning, bound int64, passes int) {
 	load := p.Weights(g)
 	aff := make(map[int32]int64, 8)
+	cand := make([]int32, 0, 8)
 	for pass := 0; pass < passes; pass++ {
 		improved := false
 		for v := int32(0); v < g.NumVertices(); v++ {
@@ -106,22 +107,29 @@ func kwayRefine(g *graph.Graph, p *partition.Partitioning, bound int64, passes i
 			for key := range aff {
 				delete(aff, key)
 			}
+			// Candidate partitions are tracked in first-seen neighbor
+			// order: picking the best by ranging over aff would let map
+			// iteration order decide ties and break seeded determinism.
+			cand = cand[:0]
 			for i, u := range adj {
 				pu := p.Assign[u]
 				if pu == pv {
 					internal += int64(ew[i])
 				} else {
+					if _, seen := aff[pu]; !seen {
+						cand = append(cand, pu)
+					}
 					aff[pu] += int64(ew[i])
 				}
 			}
-			if len(aff) == 0 {
+			if len(cand) == 0 {
 				continue
 			}
 			w := int64(g.VertexWeight(v))
 			best := int32(-1)
 			var bestGain int64
-			for pu, a := range aff {
-				gain := a - internal
+			for _, pu := range cand {
+				gain := aff[pu] - internal
 				if gain > bestGain && load[pu]+w <= bound {
 					best, bestGain = pu, gain
 				}

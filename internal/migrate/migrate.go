@@ -240,7 +240,14 @@ func payloadBytes(vd *VertexData) int64 {
 func Verify(stores []*Store, g *graph.Graph, now *partition.Partitioning) error {
 	seen := make([]bool, g.NumVertices())
 	for _, st := range stores {
+		// Walk each store's vertices in sorted order so a violation is
+		// always reported against the same vertex, run after run.
+		verts := make([]int32, 0, len(st.Vertices))
 		for v := range st.Vertices {
+			verts = append(verts, v)
+		}
+		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+		for _, v := range verts {
 			if v < 0 || v >= g.NumVertices() {
 				return fmt.Errorf("migrate: store %d holds out-of-range vertex %d", st.Rank, v)
 			}

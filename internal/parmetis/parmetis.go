@@ -221,16 +221,20 @@ func bestUnderloadedNeighbor(g *graph.Graph, p *partition.Partitioning, v int32,
 	best := int32(-1)
 	var bestAff int64 = -1
 	aff := map[int32]int64{}
+	var cand []int32 // first-seen order, so ties resolve deterministically
 	adj := g.Neighbors(v)
 	ew := g.EdgeWeights(v)
 	for i, u := range adj {
 		pu := p.Assign[u]
 		if pu != p.Assign[v] {
+			if _, seen := aff[pu]; !seen {
+				cand = append(cand, pu)
+			}
 			aff[pu] += int64(ew[i])
 		}
 	}
-	for pu, a := range aff {
-		if load[pu]+w <= bound && a > bestAff {
+	for _, pu := range cand {
+		if a := aff[pu]; load[pu]+w <= bound && a > bestAff {
 			best, bestAff = pu, a
 		}
 	}
@@ -249,22 +253,26 @@ func greedyKWayRefine(g *graph.Graph, p *partition.Partitioning, bound int64, pa
 			ew := g.EdgeWeights(v)
 			var internal int64
 			aff := map[int32]int64{}
+			var cand []int32 // first-seen order, not map order: ties must be deterministic
 			for i, u := range adj {
 				pu := p.Assign[u]
 				if pu == pv {
 					internal += int64(ew[i])
 				} else {
+					if _, seen := aff[pu]; !seen {
+						cand = append(cand, pu)
+					}
 					aff[pu] += int64(ew[i])
 				}
 			}
-			if len(aff) == 0 {
+			if len(cand) == 0 {
 				continue
 			}
 			w := int64(g.VertexWeight(v))
 			best := int32(-1)
 			var bestGain int64
-			for pu, a := range aff {
-				gain := a - internal
+			for _, pu := range cand {
+				gain := aff[pu] - internal
 				if gain > bestGain && load[pu]+w <= bound {
 					best, bestGain = pu, gain
 				}

@@ -1,6 +1,9 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Calibration: the paper derives its relative cost matrix from
 // osu_latency measurements between bound MPI ranks. CalibrateLatency
@@ -61,25 +64,29 @@ func CalibrateLatency(c *Cluster, samples []LatencySample) (LatencyModel, error)
 		IntraSocket: avg(IntraSocket, def.IntraSocket),
 		InterSocket: avg(InterSocket, def.InterSocket),
 	}
-	// Inter-node: fit base + perHop·hops from per-hop averages.
-	switch len(hopCounts) {
+	// Inter-node: fit base + perHop·hops from per-hop averages. The hop
+	// buckets are drained in sorted order: float accumulation in map
+	// order would make the fitted model differ in ULPs between runs.
+	hops := make([]int, 0, len(hopCounts))
+	for h := range hopCounts {
+		hops = append(hops, h)
+	}
+	sort.Ints(hops)
+	switch len(hops) {
 	case 0:
 		m.InterNodeBase = -def.InterNodeBase
 		m.PerHop = -def.PerHop
 	case 1:
-		for h, n := range hopCounts {
-			mean := hopSums[h] / float64(n)
-			m.InterNodeBase = mean
-			m.PerHop = 0
-			_ = h
-		}
+		h := hops[0]
+		m.InterNodeBase = hopSums[h] / float64(hopCounts[h])
+		m.PerHop = 0
 	default:
 		// Least-squares over (hops, mean latency).
 		var sx, sy, sxx, sxy float64
 		var k int
-		for h, n := range hopCounts {
+		for _, h := range hops {
 			x := float64(h)
-			y := hopSums[h] / float64(n)
+			y := hopSums[h] / float64(hopCounts[h])
 			sx += x
 			sy += y
 			sxx += x * x

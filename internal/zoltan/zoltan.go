@@ -216,11 +216,17 @@ func bestByConnectivity(g *graph.Graph, p *partition.Partitioning, old *partitio
 	best := int32(-1)
 	bestDelta := 0.0
 	// Candidate destinations: partitions adjacent to v, plus (in spill
-	// mode) the globally least-loaded partition.
-	cands := map[int32]struct{}{}
+	// mode) the globally least-loaded partition. Candidates are kept in
+	// first-seen neighbor order — iterating a map here would let the
+	// runtime's randomized order break delta ties differently every run.
+	seen := map[int32]struct{}{}
+	var cands []int32
 	for _, u := range g.Neighbors(v) {
 		if pu := p.Assign[u]; pu != cur {
-			cands[pu] = struct{}{}
+			if _, dup := seen[pu]; !dup {
+				seen[pu] = struct{}{}
+				cands = append(cands, pu)
+			}
 		}
 	}
 	if mustMove {
@@ -231,10 +237,12 @@ func bestByConnectivity(g *graph.Graph, p *partition.Partitioning, old *partitio
 			}
 		}
 		if least >= 0 {
-			cands[least] = struct{}{}
+			if _, dup := seen[least]; !dup {
+				cands = append(cands, least)
+			}
 		}
 	}
-	for dst := range cands {
+	for _, dst := range cands {
 		if load[dst]+w > bound {
 			continue
 		}
