@@ -9,6 +9,13 @@
 //
 // The input is a METIS .graph file (as written by gengraph) or an edge
 // list (-format edgelist).
+//
+// Fault tolerance can be exercised with -fault-rate/-fault-seed: a
+// deterministic injector (internal/faultsim) crashes group servers,
+// delays stragglers, and drops exchange messages at the given rate, and
+// refinement degrades gracefully — a lost group costs quality, never
+// validity. The same (-seed, -fault-seed, -fault-rate) triple replays
+// the identical run bit-for-bit.
 package main
 
 import (
@@ -39,6 +46,8 @@ func main() {
 	alpha := flag.Float64("alpha", 10, "communication/migration weight α")
 	eps := flag.Float64("eps", 0.02, "allowed load imbalance")
 	seed := flag.Int64("seed", 42, "refinement seed")
+	faultRate := flag.Float64("fault-rate", 0, "per-fault-point probability of injected faults (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault injector")
 	out := flag.String("out", "", "write the final vertex->partition assignment here")
 	topo := flag.Bool("topo", false, "print the modeled cluster topology and exit")
 	flag.Parse()
@@ -131,6 +140,7 @@ func main() {
 	st, err := paragon.Refine(g, p, c, paragon.Config{
 		DRP: *drp, Shuffles: *shuffles, KHop: *khop,
 		Alpha: *alpha, MaxImbalance: *eps, Seed: *seed, NodeOf: nodeOf,
+		FaultRate: *faultRate, FaultSeed: *faultSeed,
 	})
 	if err != nil {
 		fatal(err)
@@ -143,6 +153,12 @@ func main() {
 		100*float64(st.MigratedVertices)/float64(g.NumVertices()))
 	fmt.Printf("volume:     shipped %d boundary vertices (%d half-edges), %d exchange bytes\n",
 		st.BoundaryShipped, st.ShippedEdgeVolume, st.LocationExchangeBytes)
+	if *faultRate > 0 {
+		fmt.Printf("faults:     %d crashed groups, %d straggler drops, %d degraded; %d exchange retries, %d aborts; %d virtual ticks (%d backoff)\n",
+			st.Faults.CrashedGroups, st.Faults.StragglerDrops, st.Faults.DegradedGroups,
+			st.Faults.ExchangeRetries, st.Faults.ExchangeAborts,
+			st.Faults.VirtualTicks, st.Faults.BackoffTicks)
+	}
 
 	if *out != "" {
 		of, err := os.Create(*out)

@@ -35,9 +35,11 @@ var kernelPackages = map[string]bool{
 	"paragon/internal/aragon":    true,
 	"paragon/internal/partition": true,
 	"paragon/internal/exchange":  true,
+	"paragon/internal/faultsim":  true,
 	"paragon/internal/graph":     true,
 	"paragon/internal/gen":       true,
 	"paragon/internal/metis":     true,
+	"paragon/internal/migrate":   true,
 	"paragon/internal/paragon":   true,
 }
 

@@ -18,12 +18,50 @@
 // Both strategies are implemented over real goroutine servers and report
 // the simulated wire volume, so the paper's claim is directly
 // benchmarkable (BenchmarkExchangeStrategies).
+//
+// Both strategies accept an optional faultsim.Fabric: any message — a
+// region reduce, a directory push or pull batch — may be dropped by the
+// injected schedule, in which case the sender retries with capped
+// exponential backoff on the virtual clock (Policy). A message dropped
+// more than Policy.MaxRetries times fails the exchange with
+// ErrExchangeFailed. With a nil Fabric the fault layer is a true no-op:
+// byte volumes and results are identical to the pre-fault implementation.
 package exchange
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+
+	"paragon/internal/faultsim"
 )
+
+// ErrExchangeFailed marks an exchange abandoned after a message was
+// dropped more than Policy.MaxRetries times. Callers distinguish it from
+// protocol violations (conflicting updates) with errors.Is.
+var ErrExchangeFailed = errors.New("message dropped beyond retry budget")
+
+// deliver attempts to send one message op under the fault fabric,
+// retrying with capped backoff until it is delivered or the retry budget
+// is exhausted. Each attempt (including lost ones — the bytes went out)
+// costs size bytes; backoff advances the virtual clock. It returns the
+// total bytes spent and the number of retries performed.
+func deliver(f faultsim.Fabric, pol faultsim.Policy, clk *faultsim.Clock, epoch, op int, size int64) (bytes int64, retries int, err error) {
+	for attempt := 0; ; attempt++ {
+		bytes += size
+		if f == nil || !f.Drop(epoch, op, attempt) {
+			return bytes, retries, nil
+		}
+		if attempt >= pol.MaxRetries {
+			return bytes, retries, fmt.Errorf("exchange: message %d dropped %d times: %w", op, attempt+1, ErrExchangeFailed)
+		}
+		if clk != nil {
+			clk.Advance(pol.Backoff(attempt))
+		}
+		retries++
+	}
+}
 
 // Server is one group server's view during a shuffle exchange.
 type Server struct {
@@ -61,13 +99,23 @@ const (
 // Shards defaults to the number of servers.
 type Directory struct {
 	Shards int
+	// Fabric optionally injects message-drop faults (nil = fault-free).
+	Fabric faultsim.Fabric
+	// Policy bounds retries and backoff; the zero value is DefaultPolicy.
+	Policy faultsim.Policy
+	// Clock, when set, absorbs the virtual backoff ticks of retries.
+	Clock *faultsim.Clock
 }
 
 // Name implements Strategy.
 func (Directory) Name() string { return "distributed data directory" }
 
 // Propagate implements Strategy: push updates to hash-owned shards, then
-// pull every needed location.
+// pull every needed location. Conflicting shard updates (two servers
+// moving the same vertex to different partitions — a protocol violation
+// PARAGON's disjoint grouping prevents) fail with a deterministic
+// conflict error, like Region. Under a Fabric, a server's push or pull
+// batch may be dropped and is retried per the Policy.
 func (d Directory) Propagate(servers []*Server) (int64, error) {
 	if len(servers) == 0 {
 		return 0, fmt.Errorf("exchange: no servers")
@@ -82,10 +130,17 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 			return 0, fmt.Errorf("exchange: server %d has %d locations, want %d", s.ID, len(s.Locations), n)
 		}
 	}
-	// Shard state: authoritative locations for the vertices it owns.
+	pol := d.Policy.Normalized()
+	epoch := 0
+	if d.Fabric != nil {
+		epoch = d.Fabric.NextEpoch()
+	}
+	// Shard state: authoritative locations for the vertices it owns,
+	// plus the vertices whose pushes conflicted.
 	type shard struct {
-		mu   sync.Mutex
-		locs map[int32]int32
+		mu        sync.Mutex
+		locs      map[int32]int32
+		conflicts []int32 // vertices with disagreeing pushes; dedup at report
 	}
 	shardOf := func(v int32) int { return int(uint32(v)*2654435761) % shards }
 	dir := make([]*shard, shards)
@@ -94,38 +149,81 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 	}
 	var volume int64
 	var volMu sync.Mutex
-	// Phase 1: every server pushes its updates to the owning shards.
+	var errMu sync.Mutex
+	var dropErrs []error
+	// Phase 1: every server pushes its updates to the owning shards. The
+	// push batch is one message: a dropped batch never reaches a shard
+	// and is retried whole (idempotent — it re-writes the same values).
 	var wg sync.WaitGroup
-	for _, s := range servers {
+	for si, s := range servers {
 		wg.Add(1)
-		go func(s *Server) {
+		go func(si int, s *Server) {
 			defer wg.Done()
-			var bytes int64
+			batch := int64(len(s.Updates)) * updateBytes
+			bytes, _, err := deliver(d.Fabric, pol, d.Clock, epoch, si, batch)
+			volMu.Lock()
+			volume += bytes
+			volMu.Unlock()
+			if err != nil {
+				errMu.Lock()
+				dropErrs = append(dropErrs, fmt.Errorf("exchange: push from server %d: %w", s.ID, err))
+				errMu.Unlock()
+				return
+			}
 			for v, loc := range s.Updates {
 				sh := dir[shardOf(v)]
 				sh.mu.Lock()
 				if old, dup := sh.locs[v]; dup && old != loc {
-					// Two servers moved the same vertex: a protocol
-					// violation PARAGON's disjoint grouping prevents.
-					sh.locs[v] = loc // keep latest; surfaced by consistency check below
-				} else {
-					sh.locs[v] = loc
+					sh.conflicts = append(sh.conflicts, v)
 				}
+				sh.locs[v] = loc
 				sh.mu.Unlock()
-				bytes += updateBytes
 			}
+		}(si, s)
+	}
+	wg.Wait()
+	if err := firstDeliveryError(dropErrs); err != nil {
+		return volume, err
+	}
+	// Surface conflicts deterministically: lowest vertex id wins the
+	// error message regardless of goroutine interleaving.
+	var conflicted []int32
+	for _, sh := range dir {
+		conflicted = append(conflicted, sh.conflicts...)
+	}
+	if len(conflicted) > 0 {
+		sort.Slice(conflicted, func(i, j int) bool { return conflicted[i] < conflicted[j] })
+		uniq := conflicted[:1]
+		for _, v := range conflicted[1:] {
+			if v != uniq[len(uniq)-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		return volume, fmt.Errorf("exchange: conflicting updates for vertex %d (%d conflicting vertices)", uniq[0], len(uniq))
+	}
+	// Phase 2: every server pulls the locations it needs; the pull batch
+	// (requests + replies) is one retryable message.
+	for si, s := range servers {
+		wg.Add(1)
+		go func(si int, s *Server) {
+			defer wg.Done()
+			var batch int64
+			for _, v := range s.Needs {
+				if v < 0 || int(v) >= n {
+					continue
+				}
+				batch += requestBytes + replyBytes
+			}
+			bytes, _, err := deliver(d.Fabric, pol, d.Clock, epoch, len(servers)+si, batch)
 			volMu.Lock()
 			volume += bytes
 			volMu.Unlock()
-		}(s)
-	}
-	wg.Wait()
-	// Phase 2: every server pulls the locations it needs.
-	for _, s := range servers {
-		wg.Add(1)
-		go func(s *Server) {
-			defer wg.Done()
-			var bytes int64
+			if err != nil {
+				errMu.Lock()
+				dropErrs = append(dropErrs, fmt.Errorf("exchange: pull by server %d: %w", s.ID, err))
+				errMu.Unlock()
+				return
+			}
 			for _, v := range s.Needs {
 				if v < 0 || int(v) >= n {
 					continue
@@ -134,17 +232,16 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 				sh.mu.Lock()
 				loc, ok := sh.locs[v]
 				sh.mu.Unlock()
-				bytes += requestBytes + replyBytes
 				if ok {
 					s.Locations[v] = loc
 				}
 			}
-			volMu.Lock()
-			volume += bytes
-			volMu.Unlock()
-		}(s)
+		}(si, s)
 	}
 	wg.Wait()
+	if err := firstDeliveryError(dropErrs); err != nil {
+		return volume, err
+	}
 	// The directory only refreshes pulled vertices; apply each server's
 	// own updates locally too (free — they are local writes).
 	for _, s := range servers {
@@ -155,17 +252,42 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 	return volume, nil
 }
 
+// firstDeliveryError picks the deterministic representative of a set of
+// concurrent delivery failures: the lexicographically first message (each
+// embeds its server id), so the reported error is stable run to run.
+func firstDeliveryError(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	best := errs[0]
+	for _, e := range errs[1:] {
+		if e.Error() < best.Error() {
+			best = e
+		}
+	}
+	return best
+}
+
 // Region is the paper's adopted chunked-array strategy.
 type Region struct {
 	// Size is the region length in vertex ids; 0 means min(2^26, |V|).
 	Size int64
+	// Fabric optionally injects reduce-drop faults (nil = fault-free).
+	Fabric faultsim.Fabric
+	// Policy bounds retries and backoff; the zero value is DefaultPolicy.
+	Policy faultsim.Policy
+	// Clock, when set, absorbs the virtual backoff ticks of retries.
+	Clock *faultsim.Clock
 }
 
 // Name implements Strategy.
 func (Region) Name() string { return "region-chunked array exchange" }
 
 // Propagate implements Strategy: for each region, reduce all servers'
-// updates into a merged location array and broadcast it back.
+// updates into a merged location array and broadcast it back. Under a
+// Fabric, a region's reduce may be dropped: the whole region reduce is
+// retried with capped backoff (its bytes were spent either way), and a
+// region dropped beyond Policy.MaxRetries fails with ErrExchangeFailed.
 func (r Region) Propagate(servers []*Server) (int64, error) {
 	if len(servers) == 0 {
 		return 0, fmt.Errorf("exchange: no servers")
@@ -183,8 +305,15 @@ func (r Region) Propagate(servers []*Server) (int64, error) {
 	if size > n && n > 0 {
 		size = n
 	}
+	pol := r.Policy.Normalized()
+	epoch := 0
+	if r.Fabric != nil {
+		epoch = r.Fabric.NextEpoch()
+	}
 	var volume int64
+	region := -1
 	for lo := int64(0); lo < n; lo += size {
+		region++
 		hi := lo + size
 		if hi > n {
 			hi = n
@@ -222,9 +351,17 @@ func (r Region) Propagate(servers []*Server) (int64, error) {
 				merged[i] = base[i]
 			}
 		}
-		// Broadcast: every server adopts the merged region. The reduce
-		// wire cost is one 4-byte location per vertex of the region
-		// (the paper's O(|V|) total).
+		// The reduce wire cost is one 4-byte location per vertex of the
+		// region (the paper's O(|V|) total). A dropped reduce spent its
+		// bytes anyway and is retried after a backoff; a region dropped
+		// beyond the retry budget aborts before any server adopts it, so
+		// views stay exchange-atomic per region.
+		bytes, _, err := deliver(r.Fabric, pol, r.Clock, epoch, region, (hi-lo)*4)
+		volume += bytes
+		if err != nil {
+			return volume, fmt.Errorf("exchange: region %d reduce: %w", region, err)
+		}
+		// Broadcast: every server adopts the merged region.
 		var wg sync.WaitGroup
 		for _, s := range servers {
 			wg.Add(1)
@@ -234,7 +371,6 @@ func (r Region) Propagate(servers []*Server) (int64, error) {
 			}(s, lo, hi)
 		}
 		wg.Wait()
-		volume += (hi - lo) * 4
 	}
 	return volume, nil
 }

@@ -1,0 +1,216 @@
+package exchange
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"paragon/internal/faultsim"
+)
+
+// The satellite fix: Directory must surface conflicting shard updates as
+// an error (like Region), not silently keep the last writer.
+func TestDirectoryConflictDetection(t *testing.T) {
+	servers, _ := buildScenario(100, 2, 0, 3)
+	servers[0].Updates[7] = 0
+	servers[1].Updates[7] = 1
+	_, err := (Directory{}).Propagate(servers)
+	if err == nil {
+		t.Fatal("expected conflict error")
+	}
+	if !strings.Contains(err.Error(), "conflicting updates for vertex 7") {
+		t.Fatalf("conflict error %q does not name vertex 7", err)
+	}
+}
+
+// Multiple conflicts must report a deterministic representative (the
+// lowest vertex id), whatever order the goroutines pushed in.
+func TestDirectoryConflictDeterministicReport(t *testing.T) {
+	var msgs []string
+	for i := 0; i < 20; i++ {
+		servers, _ := buildScenario(100, 4, 0, 3)
+		for _, v := range []int32{90, 12, 55} {
+			servers[1].Updates[v] = 1
+			servers[3].Updates[v] = 2
+		}
+		_, err := (Directory{}).Propagate(servers)
+		if err == nil {
+			t.Fatal("expected conflict error")
+		}
+		msgs = append(msgs, err.Error())
+	}
+	for _, m := range msgs {
+		if m != msgs[0] {
+			t.Fatalf("conflict report unstable: %q vs %q", m, msgs[0])
+		}
+		if !strings.Contains(m, "vertex 12") {
+			t.Fatalf("conflict report %q does not pick the lowest vertex", m)
+		}
+	}
+}
+
+// Agreeing duplicate updates (same vertex, same location) are not a
+// conflict — retransmissions and echoes stay legal.
+func TestDirectoryAgreeingDuplicatesOK(t *testing.T) {
+	servers, _ := buildScenario(100, 2, 0, 3)
+	servers[0].Updates[7] = 1
+	servers[1].Updates[7] = 1
+	if _, err := (Directory{}).Propagate(servers); err != nil {
+		t.Fatalf("agreeing duplicates rejected: %v", err)
+	}
+}
+
+// A dropped region reduce is retried: the exchange still converges, the
+// retry bytes are accounted, and backoff lands on the virtual clock.
+func TestRegionRetriesDroppedReduce(t *testing.T) {
+	servers, want := buildScenario(1000, 6, 40, 1)
+	clk := faultsim.NewClock()
+	// Script: region 2's first delivery attempt is lost, once.
+	fab := faultsim.NewInjector(faultsim.Config{Script: []faultsim.Event{
+		{Kind: faultsim.KindDrop, Round: 0, Index: 2, Attempt: 0},
+	}})
+	vol, err := Region{Size: 256, Fabric: fab, Clock: clk}.Propagate(servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Consistent(servers) {
+		t.Fatal("views diverged after retried reduce")
+	}
+	for v, loc := range want {
+		if servers[0].Locations[v] != loc {
+			t.Fatalf("vertex %d: %d, want %d", v, servers[0].Locations[v], loc)
+		}
+	}
+	// 1000 vertices in 4 regions of 256/256/256/232; region 2 is sent
+	// twice: base 4000 bytes + one 256-vertex retransmission.
+	if wantVol := int64(1000*4 + 256*4); vol != wantVol {
+		t.Fatalf("volume = %d, want %d (base + one region retry)", vol, wantVol)
+	}
+	if clk.Now() != faultsim.DefaultPolicy().Backoff(0) {
+		t.Fatalf("clock = %d ticks, want one base backoff", clk.Now())
+	}
+	if c := fab.Counters(); c.Drops != 1 {
+		t.Fatalf("drops = %d, want 1", c.Drops)
+	}
+}
+
+// A reduce dropped on every attempt exhausts the retry budget and fails
+// with ErrExchangeFailed, leaving the failed region un-broadcast.
+func TestRegionRetryBudgetExhausted(t *testing.T) {
+	servers, _ := buildScenario(1000, 6, 40, 1)
+	pol := faultsim.Policy{MaxRetries: 3}
+	var script []faultsim.Event
+	for attempt := 0; attempt <= pol.MaxRetries; attempt++ {
+		script = append(script, faultsim.Event{Kind: faultsim.KindDrop, Round: 0, Index: 1, Attempt: attempt})
+	}
+	fab := faultsim.NewInjector(faultsim.Config{Script: script})
+	clk := faultsim.NewClock()
+	_, err := Region{Size: 256, Fabric: fab, Policy: pol, Clock: clk}.Propagate(servers)
+	if !errors.Is(err, ErrExchangeFailed) {
+		t.Fatalf("err = %v, want ErrExchangeFailed", err)
+	}
+	// Backoff 1+2+4 ticks were spent before giving up.
+	if clk.Now() != 1+2+4 {
+		t.Fatalf("clock = %d, want 7 backoff ticks", clk.Now())
+	}
+}
+
+// Directory push/pull batches retry the same way.
+func TestDirectoryRetriesDroppedBatches(t *testing.T) {
+	servers, want := buildScenario(400, 4, 20, 9)
+	for _, s := range servers {
+		s.Needs = s.Needs[:0]
+		for v := 0; v < 400; v++ {
+			s.Needs = append(s.Needs, int32(v))
+		}
+	}
+	fab := faultsim.NewInjector(faultsim.Config{Script: []faultsim.Event{
+		{Kind: faultsim.KindDrop, Round: 0, Index: 1, Attempt: 0}, // server 1's push
+		{Kind: faultsim.KindDrop, Round: 0, Index: 4, Attempt: 0}, // server 0's pull (ops 4..7 are pulls)
+	}})
+	clk := faultsim.NewClock()
+	vol, err := Directory{Fabric: fab, Clock: clk}.Propagate(servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Consistent(servers) {
+		t.Fatal("views diverged after retried batches")
+	}
+	for v, loc := range want {
+		if servers[0].Locations[v] != loc {
+			t.Fatalf("vertex %d: %d, want %d", v, servers[0].Locations[v], loc)
+		}
+	}
+	// Both retried batches were paid for twice.
+	base := int64(4*20)*updateBytes + int64(4*400)*(requestBytes+replyBytes)
+	extra := int64(20)*updateBytes + int64(400)*(requestBytes+replyBytes)
+	if vol != base+extra {
+		t.Fatalf("volume = %d, want %d", vol, base+extra)
+	}
+	if clk.Now() != 2*faultsim.DefaultPolicy().Backoff(0) {
+		t.Fatalf("clock = %d, want two base backoffs", clk.Now())
+	}
+}
+
+func TestDirectoryRetryBudgetExhausted(t *testing.T) {
+	servers, _ := buildScenario(100, 3, 5, 2)
+	// Drop server 2's push on every attempt of the default budget.
+	var script []faultsim.Event
+	for attempt := 0; attempt <= faultsim.DefaultPolicy().MaxRetries; attempt++ {
+		script = append(script, faultsim.Event{Kind: faultsim.KindDrop, Round: 0, Index: 2, Attempt: attempt})
+	}
+	fab := faultsim.NewInjector(faultsim.Config{Script: script})
+	_, err := Directory{Fabric: fab}.Propagate(servers)
+	if !errors.Is(err, ErrExchangeFailed) {
+		t.Fatalf("err = %v, want ErrExchangeFailed", err)
+	}
+}
+
+// Consecutive Propagate calls under one fabric consume distinct epochs,
+// so a schedule that kills epoch 0 leaves epoch 1 untouched.
+func TestEpochsIsolatePropagateCalls(t *testing.T) {
+	fab := faultsim.NewInjector(faultsim.Config{Script: []faultsim.Event{
+		{Kind: faultsim.KindDrop, Round: 0, Index: 0, Attempt: 0},
+	}})
+	clk := faultsim.NewClock()
+	s1, _ := buildScenario(100, 3, 5, 2)
+	if _, err := (Region{Fabric: fab, Clock: clk}).Propagate(s1); err != nil {
+		t.Fatal(err)
+	}
+	ticksAfterFirst := clk.Now()
+	if ticksAfterFirst == 0 {
+		t.Fatal("epoch-0 drop did not fire")
+	}
+	s2, _ := buildScenario(100, 3, 5, 2)
+	if _, err := (Region{Fabric: fab, Clock: clk}).Propagate(s2); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != ticksAfterFirst {
+		t.Fatal("epoch-1 call re-fired epoch-0's schedule")
+	}
+}
+
+// Identical (seed, rate) fabrics must produce identical exchange
+// outcomes — volumes, clocks, and final views.
+func TestFaultyExchangeDeterministic(t *testing.T) {
+	run := func() (int64, int64, []int32) {
+		servers, _ := buildScenario(2000, 8, 50, 6)
+		fab := faultsim.NewInjector(faultsim.Config{Seed: 17, Rate: 0.3})
+		clk := faultsim.NewClock()
+		vol, err := Region{Size: 128, Fabric: fab, Clock: clk}.Propagate(servers)
+		if err != nil && !errors.Is(err, ErrExchangeFailed) {
+			t.Fatal(err)
+		}
+		return vol, clk.Now(), append([]int32(nil), servers[0].Locations...)
+	}
+	v1, t1, l1 := run()
+	v2, t2, l2 := run()
+	if v1 != v2 || t1 != t2 {
+		t.Fatalf("faulty exchange nondeterministic: vol %d/%d ticks %d/%d", v1, v2, t1, t2)
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("views diverged at vertex %d", i)
+		}
+	}
+}

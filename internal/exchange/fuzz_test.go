@@ -1,0 +1,90 @@
+package exchange
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzRegionPropagate throws random update sets, region sizes, and
+// deliberate cross-server overlaps at the region exchange. The contract
+// under any input: Propagate either converges every server to one
+// consistent view that reflects all updates, or returns a conflict
+// error — never a panic and never a silently divergent view.
+func FuzzRegionPropagate(f *testing.F) {
+	f.Add(int64(1), uint16(64), uint8(3), uint8(20), uint8(0))
+	f.Add(int64(7), uint16(1), uint8(1), uint8(0), uint8(0))
+	f.Add(int64(42), uint16(500), uint8(8), uint8(60), uint8(3))
+	f.Add(int64(-9), uint16(17), uint8(5), uint8(33), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, sizeRaw uint16, serversRaw, updatesRaw, overlapRaw uint8) {
+		const nVerts = 300
+		nServers := int(serversRaw%8) + 2
+		updatesPer := int(updatesRaw % 80)
+		size := int64(sizeRaw%600) + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		initial := make([]int32, nVerts)
+		for v := range initial {
+			initial[v] = int32(rng.Intn(nServers))
+		}
+		servers := make([]*Server, nServers)
+		for i := range servers {
+			servers[i] = &Server{
+				ID:        i,
+				Locations: append([]int32(nil), initial...),
+				Updates:   map[int32]int32{},
+			}
+		}
+		for _, s := range servers {
+			for u := 0; u < updatesPer; u++ {
+				s.Updates[int32(rng.Intn(nVerts))] = int32(rng.Intn(nServers))
+			}
+		}
+		// Extra forced overlaps, beyond what random collisions produced.
+		for o := 0; o < int(overlapRaw%4); o++ {
+			v := int32(rng.Intn(nVerts))
+			servers[rng.Intn(nServers)].Updates[v] = int32(rng.Intn(nServers))
+			servers[rng.Intn(nServers)].Updates[v] = int32(rng.Intn(nServers))
+		}
+		// Ground truth from the final per-server update maps — exactly
+		// the condition Propagate must detect: some vertex assigned two
+		// different locations by different servers. Agreeing duplicates
+		// are legal. wantLoc is only meaningful when conflict-free.
+		expectConflict := false
+		wantLoc := map[int32]int32{}
+		for _, s := range servers {
+			for v, loc := range s.Updates {
+				if prev, ok := wantLoc[v]; ok && prev != loc {
+					expectConflict = true
+				}
+				wantLoc[v] = loc
+			}
+		}
+
+		_, err := Region{Size: size}.Propagate(servers)
+		if err != nil {
+			if !strings.Contains(err.Error(), "conflicting updates") {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if !expectConflict {
+				t.Fatalf("conflict reported on a conflict-free input: %v", err)
+			}
+			return
+		}
+		if expectConflict {
+			t.Fatal("conflicting input propagated without error")
+		}
+		if !Consistent(servers) {
+			t.Fatal("views diverged without an error")
+		}
+		for v := int32(0); v < nVerts; v++ {
+			want := initial[v]
+			if loc, ok := wantLoc[v]; ok {
+				want = loc
+			}
+			if servers[0].Locations[v] != want {
+				t.Fatalf("vertex %d: location %d, want %d", v, servers[0].Locations[v], want)
+			}
+		}
+	})
+}

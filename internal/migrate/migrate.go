@@ -9,13 +9,22 @@
 package migrate
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"paragon/internal/faultsim"
 	"paragon/internal/graph"
 	"paragon/internal/partition"
 )
+
+// ErrAborted marks a migration that was killed mid-plan by the fault
+// fabric. The transaction guarantee holds: every rank has been rolled
+// back to its exact pre-plan state (vertex stores and, via the Restore
+// hook, application context), so Verify against the old decomposition
+// passes. Detect it with errors.Is.
+var ErrAborted = errors.New("migration aborted; all ranks rolled back")
 
 // Move is one vertex changing owner.
 type Move struct {
@@ -145,15 +154,68 @@ type Stats struct {
 	MovedBytes    int64 // serialized payload bytes (12 bytes/edge + 8 fixed + app data)
 	PerRankSent   []int64
 	PerRankRecv   []int64
+	Aborted       bool  // the run ended in a rollback (fault or plan error)
+	RolledBack    int64 // vertices that departed and were restored to their sender
 }
 
 // Execute runs the migration: one goroutine per rank exchanges vertex
 // payloads over channels according to the plan, invoking the application
 // hooks around each move. Stores are updated in place.
 func Execute(stores []*Store, plan *Plan, ctx AppContext) (Stats, error) {
+	return ExecuteWith(stores, plan, ctx, nil)
+}
+
+// validatePlan rejects malformed plans before any store is touched:
+// out-of-range ranks, degenerate moves, and conflicting moves (the same
+// vertex scheduled twice). It returns the vertex -> plan-index map the
+// abort machinery needs.
+func validatePlan(plan *Plan, k int32) (map[int32]int, error) {
+	index := make(map[int32]int, len(plan.Moves))
+	for i, m := range plan.Moves {
+		if m.From < 0 || m.From >= k || m.To < 0 || m.To >= k {
+			return nil, fmt.Errorf("migrate: move %d sends vertex %d between out-of-range ranks %d -> %d (k=%d)", i, m.Vertex, m.From, m.To, k)
+		}
+		if m.From == m.To {
+			return nil, fmt.Errorf("migrate: move %d is degenerate: vertex %d stays on rank %d", i, m.Vertex, m.From)
+		}
+		if j, dup := index[m.Vertex]; dup {
+			return nil, fmt.Errorf("migrate: conflicting plan: vertex %d scheduled by moves %d and %d", m.Vertex, j, i)
+		}
+		index[m.Vertex] = i
+	}
+	return index, nil
+}
+
+// ExecuteWith is Execute under a fault fabric. The migration is a
+// transaction: senders journal every departing vertex, receivers stage
+// arrivals without applying them, and only a fully-staged plan commits.
+// If the fabric aborts the migration mid-plan (or a sender finds a
+// vertex missing), every journaled departure is restored to its sender —
+// application context included, via the Restore hook — and ExecuteWith
+// returns ErrAborted (or the protocol error). Either way Verify holds
+// afterwards: against the new decomposition on commit, against the old
+// one on rollback.
+func ExecuteWith(stores []*Store, plan *Plan, ctx AppContext, fab faultsim.Fabric) (Stats, error) {
 	k := int32(len(stores))
 	if plan.K != k {
 		return Stats{}, fmt.Errorf("migrate: plan for %d ranks, %d stores", plan.K, k)
+	}
+	moveIndex, err := validatePlan(plan, k)
+	if err != nil {
+		return Stats{}, err
+	}
+	// The abort point is fixed up front from the schedule: the first plan
+	// index the fabric kills. Sends at or past it never happen — the
+	// "crashed" tail of the plan.
+	abortAt := len(plan.Moves)
+	if fab != nil {
+		epoch := fab.NextEpoch()
+		for i := range plan.Moves {
+			if fab.AbortMigration(epoch, i) {
+				abortAt = i
+				break
+			}
+		}
 	}
 	type parcel struct {
 		vertex int32
@@ -166,8 +228,9 @@ func Execute(stores []*Store, plan *Plan, ctx AppContext) (Stats, error) {
 		inbox[r] = make(chan parcel, len(plan.Moves)+1)
 	}
 	stats := Stats{PerRankSent: make([]int64, k), PerRankRecv: make([]int64, k)}
-	var mu sync.Mutex
-	var firstErr error
+	perRankBytes := make([]int64, k)
+	journal := make([][]parcel, k) // per sender: departed vertices, in send order
+	missing := make([][]int32, k)  // per sender: vertices absent at send time
 
 	var wg sync.WaitGroup
 	for r := int32(0); r < k; r++ {
@@ -175,56 +238,85 @@ func Execute(stores []*Store, plan *Plan, ctx AppContext) (Stats, error) {
 		go func(r int32) {
 			defer wg.Done()
 			st := stores[r]
-			var sentBytes, sentCount int64
 			for _, m := range plan.SendsFrom(r) {
+				if moveIndex[m.Vertex] >= abortAt {
+					continue // the migration dies before this send
+				}
 				vd, ok := st.Vertices[m.Vertex]
 				if !ok {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("migrate: rank %d does not hold vertex %d", r, m.Vertex)
-					}
-					mu.Unlock()
+					missing[r] = append(missing[r], m.Vertex)
 					continue
 				}
 				if ctx.Save != nil {
 					vd.App = ctx.Save(m.Vertex)
 				}
 				delete(st.Vertices, m.Vertex)
+				journal[r] = append(journal[r], parcel{m.Vertex, vd})
 				inbox[m.To] <- parcel{m.Vertex, vd}
-				sentBytes += payloadBytes(vd)
-				sentCount++
+				perRankBytes[r] += payloadBytes(vd)
+				stats.PerRankSent[r]++
 			}
-			mu.Lock()
-			stats.PerRankSent[r] = sentCount
-			stats.MovedBytes += sentBytes
-			stats.MovedVertices += sentCount
-			mu.Unlock()
 		}(r)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return stats, firstErr
+
+	// Deterministic verdict: a protocol violation outranks a scheduled
+	// abort, and the reported vertex is the lowest missing one however
+	// the goroutines interleaved.
+	var verdict error
+	var missingAll []int32
+	for r := int32(0); r < k; r++ {
+		missingAll = append(missingAll, missing[r]...)
 	}
-	// Receive phase: all sends completed, drain inboxes.
+	if len(missingAll) > 0 {
+		sort.Slice(missingAll, func(i, j int) bool { return missingAll[i] < missingAll[j] })
+		v := missingAll[0]
+		verdict = fmt.Errorf("migrate: rank %d does not hold vertex %d; rolled back", plan.Moves[moveIndex[v]].From, v)
+	} else if abortAt < len(plan.Moves) {
+		verdict = fmt.Errorf("migrate: fault at plan move %d of %d: %w", abortAt, len(plan.Moves), ErrAborted)
+	}
+
+	if verdict != nil {
+		// Rollback: discard everything in flight and restore each
+		// journaled departure to its sender, handing the application
+		// context back through the Restore hook at the origin rank.
+		for r := int32(0); r < k; r++ {
+			close(inbox[r])
+			for range inbox[r] {
+			}
+			for _, pc := range journal[r] {
+				stores[r].Vertices[pc.vertex] = pc.data
+				if ctx.Restore != nil {
+					ctx.Restore(pc.vertex, pc.data.App)
+				}
+				stats.RolledBack++
+			}
+		}
+		stats.Aborted = true
+		stats.PerRankSent = make([]int64, k) // nothing moved
+		return stats, verdict
+	}
+
+	// Commit phase: all sends staged, drain inboxes into the stores.
 	for r := int32(0); r < k; r++ {
 		wg.Add(1)
 		go func(r int32) {
 			defer wg.Done()
 			close(inbox[r])
-			var count int64
 			for pc := range inbox[r] {
 				stores[r].Vertices[pc.vertex] = pc.data
 				if ctx.Restore != nil {
 					ctx.Restore(pc.vertex, pc.data.App)
 				}
-				count++
+				stats.PerRankRecv[r]++
 			}
-			mu.Lock()
-			stats.PerRankRecv[r] = count
-			mu.Unlock()
 		}(r)
 	}
 	wg.Wait()
+	for r := int32(0); r < k; r++ {
+		stats.MovedBytes += perRankBytes[r]
+		stats.MovedVertices += stats.PerRankSent[r]
+	}
 	return stats, nil
 }
 

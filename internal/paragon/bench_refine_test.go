@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"paragon/internal/faultsim"
 	"paragon/internal/gen"
 	"paragon/internal/graph"
 	"paragon/internal/stream"
@@ -31,11 +32,27 @@ func benchGraph100k() *graph.Graph {
 // (grouping, shipping accounting, parallel group refinement, exchange)
 // at the paper's drp=8 on 100k vertices.
 func BenchmarkParagonRound(b *testing.B) {
+	benchParagonRound(b, false)
+}
+
+// BenchmarkParagonRoundFault is the guard on the fault layer's
+// instrumentation cost: the identical round with a fault fabric
+// installed but a zero-fault schedule, so every fault point is consulted
+// and none fires. scripts/bench.sh records the pair to BENCH_fault.json;
+// the overhead target is < 5%.
+func BenchmarkParagonRoundFault(b *testing.B) {
+	benchParagonRound(b, true)
+}
+
+func benchParagonRound(b *testing.B, faultLayer bool) {
 	for _, k := range []int32{32, 128} {
 		b.Run(map[int32]string{32: "k=32", 128: "k=128"}[k], func(b *testing.B) {
 			g := benchGraph100k()
 			p0 := stream.HP(g, k)
 			cfg := Config{DRP: 8, Shuffles: 0, Seed: 1}
+			if faultLayer {
+				cfg.Fabric = faultsim.NewInjector(faultsim.Config{Seed: 1}) // rate 0: never fires
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

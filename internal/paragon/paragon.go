@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"paragon/internal/aragon"
+	"paragon/internal/faultsim"
 	"paragon/internal/graph"
 	"paragon/internal/partition"
 )
@@ -64,6 +65,21 @@ type Config struct {
 	// RegionSize overrides the location-exchange region size of §5
 	// (default min(2^26, |V|)).
 	RegionSize int64
+	// FaultRate, together with FaultSeed, installs the deterministic
+	// fault injector of internal/faultsim: every fault point (group
+	// crash, straggler delay, exchange-reduce drop) fires independently
+	// with this probability, hashed from FaultSeed so identical
+	// (FaultSeed, FaultRate) runs see identical fault schedules. Zero
+	// disables the fault layer entirely.
+	FaultRate float64
+	// FaultSeed seeds the fault schedule (independent of Seed, so the
+	// same refinement can be swept across fault schedules).
+	FaultSeed int64
+	// Fabric overrides FaultRate/FaultSeed with an explicit fault
+	// fabric — a scripted schedule being replayed, or a zero-fault
+	// injector when measuring instrumentation overhead. With a nil
+	// Fabric and FaultRate 0 the fault layer is a true no-op.
+	Fabric faultsim.Fabric
 }
 
 // DefaultConfig returns the paper's evaluation defaults: drp = 8, eight
@@ -130,6 +146,23 @@ type Stats struct {
 	MigratedVertices int64         // vertices whose final owner changed
 	MigrationCost    float64       // Eq. 3 against the input decomposition
 	RefinementTime   time.Duration // wall clock of the whole refinement
+
+	Faults FaultStats // degraded-mode accounting (all zero without a fault fabric)
+}
+
+// FaultStats accounts what the fault fabric did to one Refine and how
+// the recovery machinery answered. Refinement is best-effort, so every
+// entry here costs quality, never validity: a degraded group's moves are
+// discarded and the round commits with the survivors; an exchange abort
+// ends shuffling early with the rounds already committed.
+type FaultStats struct {
+	CrashedGroups   int   // group servers that crashed; their rounds' moves discarded
+	StragglerDrops  int   // groups discarded because their delay passed the round timeout
+	DegradedGroups  int   // total discarded group outcomes (crashes + straggler drops)
+	ExchangeRetries int   // region reduces retransmitted after a drop
+	ExchangeAborts  int   // reduces abandoned after the retry budget (ends shuffling)
+	BackoffTicks    int64 // virtual ticks spent backing off dropped reduces
+	VirtualTicks    int64 // total virtual time: per-round barriers plus backoff
 }
 
 // Refine improves the decomposition p of g in place against the relative
@@ -178,6 +211,17 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 		regionSize = n
 	}
 	st.ExchangeRegions = int((int64(g.NumVertices()) + regionSize - 1) / regionSize)
+
+	// The fault layer: nil fab is the fast path with zero overhead; an
+	// installed fabric is consulted at each fault point. Decisions are
+	// pure hashes of (seed, coordinates), so the parallel fan-out below
+	// can query it from any goroutine without losing determinism.
+	fab := cfg.Fabric
+	if fab == nil && cfg.FaultRate > 0 {
+		fab = faultsim.NewInjector(faultsim.Config{Seed: cfg.FaultSeed, Rate: cfg.FaultRate})
+	}
+	pol := faultsim.DefaultPolicy()
+	clk := faultsim.NewClock()
 
 	groups := randomGrouping(k, cfg.DRP, rng)
 	// One incrementally maintained index serves every round: the exchange
@@ -229,19 +273,54 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 		var wg sync.WaitGroup
 		for gi := range groups {
 			wg.Add(1)
-			go func(gi int) {
+			go func(gi, round int) {
 				defer wg.Done()
+				// Crash fault point: a crashed group server never reports
+				// its outcome — skip the (lost) work entirely.
+				if fab != nil && fab.CrashGroup(round, gi) {
+					results[gi] = groupOutcome{crashed: true}
+					return
+				}
 				results[gi] = refineGroup(g, ix, snapshot, orig, groups[gi], c, loads, maxLoad, cfg, allowed)
-			}(gi)
+				if fab != nil {
+					results[gi].delay = fab.GroupDelay(round, gi)
+				}
+			}(gi, round)
 		}
 		wg.Wait()
 
-		// Exchange phase: apply every group's moves. Groups own disjoint
-		// partitions, so their move sets are disjoint by construction.
-		// Moves flow through the index to keep it consistent for the
-		// next round.
+		// Exchange phase: apply every surviving group's moves. Groups own
+		// disjoint partitions, so their move sets are disjoint by
+		// construction, and each group's moves were computed against the
+		// shared snapshot — discarding a degraded group leaves the
+		// survivors' moves exactly as valid as they were, so a lost group
+		// costs quality, never validity. Moves flow through the index to
+		// keep it consistent for the next round.
 		var roundGain float64
+		var roundTicks int64
 		for _, r := range results {
+			if fab != nil {
+				if r.crashed {
+					// A crashed server never answers; the master burns
+					// the whole round timeout discovering that.
+					st.Faults.CrashedGroups++
+					st.Faults.DegradedGroups++
+					roundTicks = pol.RoundTimeout
+					continue
+				}
+				dur := 1 + r.delay
+				if dur > pol.RoundTimeout {
+					// Straggler past the timeout: its moves arrive after
+					// the round committed and are discarded.
+					st.Faults.StragglerDrops++
+					st.Faults.DegradedGroups++
+					roundTicks = pol.RoundTimeout
+					continue
+				}
+				if dur > roundTicks {
+					roundTicks = dur
+				}
+			}
 			st.PairsRefined += r.pairs
 			st.Moves += r.result.Moves
 			st.Gain += r.result.Gain
@@ -254,6 +333,7 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 				loads[mv.to] += w
 			}
 		}
+		clk.Advance(roundTicks)
 
 		st.RoundGains = append(st.RoundGains, roundGain)
 
@@ -261,10 +341,42 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 			// The chunked location exchange of §5: every group server
 			// learns the up-to-date location of all vertices, region by
 			// region — O(|V|) traffic per shuffle (4 bytes per entry).
-			st.LocationExchangeBytes += int64(g.NumVertices()) * 4
+			// Under a fault fabric each region reduce may be dropped: it
+			// is retransmitted after a capped exponential backoff, and a
+			// region dropped beyond the retry budget ends shuffle
+			// refinement early — the rounds already committed stand.
+			nV := int64(g.NumVertices())
+			exchangeOK := true
+			for region := 0; region < st.ExchangeRegions && exchangeOK; region++ {
+				lo := int64(region) * regionSize
+				hi := lo + regionSize
+				if hi > nV {
+					hi = nV
+				}
+				for attempt := 0; ; attempt++ {
+					st.LocationExchangeBytes += (hi - lo) * 4 // spent even when dropped
+					if fab == nil || !fab.Drop(round, region, attempt) {
+						break
+					}
+					if attempt >= pol.MaxRetries {
+						st.Faults.ExchangeAborts++
+						exchangeOK = false
+						break
+					}
+					st.Faults.ExchangeRetries++
+					b := pol.Backoff(attempt)
+					st.Faults.BackoffTicks += b
+					clk.Advance(b)
+				}
+			}
+			if !exchangeOK {
+				st.Rounds = round + 1
+				break
+			}
 			shuffleGroups(groups, rng, round)
 		}
 	}
+	st.Faults.VirtualTicks = clk.Now()
 
 	// Final bookkeeping: physical data migration plan vs. the input.
 	for v := int32(0); v < g.NumVertices(); v++ {
@@ -301,9 +413,11 @@ type move struct {
 }
 
 type groupOutcome struct {
-	moves  []move
-	result aragon.Result
-	pairs  int
+	moves   []move
+	result  aragon.Result
+	pairs   int
+	crashed bool  // the group server crashed; there is no outcome
+	delay   int64 // injected straggler delay in virtual ticks
 }
 
 // refineGroup is the per-group-server work: refine all pairs of the

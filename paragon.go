@@ -26,6 +26,7 @@ import (
 	"paragon/internal/apps"
 	"paragon/internal/aragon"
 	"paragon/internal/bsp"
+	"paragon/internal/faultsim"
 	"paragon/internal/gen"
 	"paragon/internal/graph"
 	"paragon/internal/metis"
@@ -204,6 +205,29 @@ func RefineSerial(g *Graph, p *Partitioning, c [][]float64, alpha, maxImbalance 
 	return err
 }
 
+// ---- Fault injection ----
+
+// FaultConfig tunes the deterministic fault injector: a seed, a
+// per-fault-point rate, and an optional scripted schedule.
+type FaultConfig = faultsim.Config
+
+// FaultInjector generates replayable fault schedules: group-server
+// crashes, straggler delays, exchange message drops, and migration
+// aborts, each a pure hash of (seed, coordinates). Install one via
+// Config.Fabric, or set Config.FaultRate/FaultSeed to have Refine build
+// its own. Its Realized method returns the schedule that fired, which
+// replays bit-identically as FaultConfig.Script.
+type FaultInjector = faultsim.Injector
+
+// FaultEvent is one scripted (or realized) fault.
+type FaultEvent = faultsim.Event
+
+// FaultStats is the degraded-mode accounting block of Stats.Faults.
+type FaultStats = paragon.FaultStats
+
+// NewFaultInjector builds a deterministic fault injector.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultsim.NewInjector(cfg) }
+
 // ---- Migration ----
 
 // MigrationPlan schedules vertex movement between two decompositions.
@@ -212,6 +236,42 @@ type MigrationPlan = migrate.Plan
 // NewMigrationPlan diffs two decompositions.
 func NewMigrationPlan(old, now *Partitioning) (*MigrationPlan, error) {
 	return migrate.NewPlan(old, now)
+}
+
+// MigrationStore is one rank's local vertex store.
+type MigrationStore = migrate.Store
+
+// MigrationStats reports what one migration execution did.
+type MigrationStats = migrate.Stats
+
+// MigrationAppContext carries per-vertex application state across a
+// migration via save/restore hooks (§5's BFS-distance example).
+type MigrationAppContext = migrate.AppContext
+
+// ErrMigrationAborted marks a migration killed by the fault fabric;
+// every rank was rolled back to its pre-plan state. Detect with
+// errors.Is.
+var ErrMigrationAborted = migrate.ErrAborted
+
+// BuildMigrationStores materializes per-rank stores from a graph and its
+// current decomposition.
+func BuildMigrationStores(g *Graph, p *Partitioning) []*MigrationStore {
+	return migrate.BuildStores(g, p)
+}
+
+// ExecuteMigration runs a migration plan over the stores, transactional
+// against faults: it either commits fully or rolls back fully. A nil
+// fabric runs fault-free.
+func ExecuteMigration(stores []*MigrationStore, plan *MigrationPlan, ctx MigrationAppContext, fab *FaultInjector) (MigrationStats, error) {
+	if fab == nil {
+		return migrate.Execute(stores, plan, ctx)
+	}
+	return migrate.ExecuteWith(stores, plan, ctx, fab)
+}
+
+// VerifyMigration checks that the stores exactly realize a decomposition.
+func VerifyMigration(stores []*MigrationStore, g *Graph, now *Partitioning) error {
+	return migrate.Verify(stores, g, now)
 }
 
 // ---- Execution simulator ----

@@ -3,20 +3,34 @@
 # BenchmarkParagonRound — 100k-vertex RMAT, k ∈ {32, 128}) and emits
 # BENCH_refine.json with ns/op and allocs/op for each, next to the
 # recorded pre-index baseline so the speedup is visible in one file.
+# A second pass pairs BenchmarkParagonRound with its fault-layer twin
+# (BenchmarkParagonRoundFault: injector installed, zero-fault schedule)
+# and emits BENCH_fault.json with the instrumentation overhead per
+# config; the budget for the fault layer is < 5%.
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [output.json] [fault-output.json]
 #   BENCHTIME=10x scripts/bench.sh   # more iterations for stable numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_refine.json}"
+faultout="${2:-BENCH_fault.json}"
 benchtime="${BENCHTIME:-5x}"
+count="${BENCHCOUNT:-3}"
 
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+faulttmp="$(mktemp)"
+trap 'rm -f "$tmp" "$faulttmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkRefinePairHot' -benchmem -benchtime "$benchtime" ./internal/aragon/ | tee -a "$tmp"
-go test -run '^$' -bench 'BenchmarkParagonRound' -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee -a "$tmp"
+# The overhead pair runs each side in its own process: heap growth and
+# drift inside a long-lived benchmark process systematically penalize
+# whichever benchmark runs second, swamping the ~1% signal. A fresh
+# process per side plus min-of-count repetitions (the emitters keep the
+# minimum) makes the comparison honest.
+go test -run '^$' -bench 'BenchmarkParagonRound$' -count "$count" -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee -a "$faulttmp"
+go test -run '^$' -bench 'BenchmarkParagonRoundFault$' -count "$count" -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee -a "$faulttmp"
+grep '^BenchmarkParagonRound/' "$faulttmp" >> "$tmp"
 
 # Benchmark lines look like:
 #   BenchmarkParagonRound/k=128-8   5   336316376 ns/op   15844968 B/op   2307 allocs/op
@@ -26,8 +40,7 @@ awk -v out="$out" -v benchtime="$benchtime" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)            # strip -GOMAXPROCS suffix
-    ns[name] = $3
-    allocs[name] = $7
+    if (!(name in ns) || $3 + 0 < ns[name] + 0) { ns[name] = $3; allocs[name] = $7 }
     if (!(name in seen)) { seen[name] = 1; order[n++] = name }
 }
 END {
@@ -52,4 +65,35 @@ END {
 }
 ' "$tmp"
 
-echo "bench: wrote $out"
+# Fault-layer overhead: pair BenchmarkParagonRound/<cfg> with
+# BenchmarkParagonRoundFault/<cfg> and report the relative cost of the
+# instrumented (never-firing) fault points.
+awk -v out="$faultout" -v benchtime="$benchtime" -v count="$count" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in ns) || $3 + 0 < ns[name] + 0) { ns[name] = $3; allocs[name] = $7 }
+    split(name, parts, "/")
+    cfg = parts[2]
+    if (!(cfg in seen)) { seen[cfg] = 1; order[n++] = cfg }
+}
+END {
+    if (n == 0) { print "bench.sh: no fault benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf("{\n")                                               > out
+    printf("  \"benchtime\": \"%s\",\n", benchtime)             > out
+    printf("  \"graph\": \"RMAT n=100000 m=800000 seed=42, degree weights\",\n") > out
+    printf("  \"note\": \"fault = injector installed at rate 0: every fault point consulted, none fires; overhead budget < 5%%. min ns/op over %s runs of %s, one process per side (in-process drift penalizes whichever side runs second)\",\n", count, benchtime) > out
+    printf("  \"rounds\": {\n")                                 > out
+    for (i = 0; i < n; i++) {
+        cfg = order[i]
+        base = "BenchmarkParagonRound/" cfg
+        fault = "BenchmarkParagonRoundFault/" cfg
+        pct = (ns[base] > 0) ? 100 * (ns[fault] - ns[base]) / ns[base] : 0
+        printf("    \"%s\": { \"base_ns_op\": %s, \"fault_ns_op\": %s, \"overhead_pct\": %.2f, \"base_allocs_op\": %s, \"fault_allocs_op\": %s }%s\n",
+               cfg, ns[base], ns[fault], pct, allocs[base], allocs[fault], (i < n - 1) ? "," : "") > out
+    }
+    printf("  }\n}\n")                                          > out
+}
+' "$faulttmp"
+
+echo "bench: wrote $out and $faultout"

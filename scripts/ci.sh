@@ -3,14 +3,17 @@
 # the race detector over the whole tree (DESIGN.md §8 requires
 # `go test -race` to stay clean on everything that shares state across
 # goroutines, and the determinism contract of DESIGN.md is enforced
-# mechanically by paragonlint — any diagnostic fails the gate).
+# mechanically by paragonlint — any diagnostic fails the gate). Tests
+# run with -shuffle=on so inter-test ordering dependencies can't hide;
+# the race pass covers the fault-matrix sweep, exercising degraded-mode
+# recovery under the detector.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./cmd/paragonlint && ./paragonlint ./...
 go build ./...
-go test ./...
-go test -race ./...
+go test -shuffle=on ./...
+go test -race -shuffle=on ./...
 
 echo "ci: all green"
