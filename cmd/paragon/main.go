@@ -16,6 +16,13 @@
 // refinement degrades gracefully — a lost group costs quality, never
 // validity. The same (-seed, -fault-seed, -fault-rate) triple replays
 // the identical run bit-for-bit.
+//
+// -workers sizes the pair-level worker pool (default GOMAXPROCS); the
+// output is bit-identical for every value. -cpuprofile/-memprofile write
+// runtime/pprof profiles for diagnosing scaling regressions:
+//
+//	paragon -in graph.metis -k 128 -workers 8 -cpuprofile cpu.pb.gz
+//	go tool pprof cpu.pb.gz
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"paragon/internal/graph"
 	"paragon/internal/metis"
@@ -41,6 +50,7 @@ func main() {
 	lambda := flag.Float64("lambda", 0, "contention degree λ of Eq. 12")
 	partitioner := flag.String("partitioner", "dg", "initial partitioner: hp, dg, ldg, fennel, metis, or metis-kway")
 	drp := flag.Int("drp", 8, "degree of refinement parallelism")
+	workers := flag.Int("workers", 0, "pair-level refinement workers (0 = GOMAXPROCS; result is identical for any value)")
 	shuffles := flag.Int("shuffles", 8, "shuffle refinement rounds")
 	khop := flag.Int("khop", 0, "boundary expansion hops shipped to group servers")
 	alpha := flag.Float64("alpha", 10, "communication/migration weight α")
@@ -50,7 +60,40 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault injector")
 	out := flag.String("out", "", "write the final vertex->partition assignment here")
 	topo := flag.Bool("topo", false, "print the modeled cluster topology and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here (pprof format)")
+	memProfile := flag.String("memprofile", "", "write a heap profile here on exit (pprof format)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := pf.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			mf, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fatal(err)
+			}
+			if err := mf.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *topo {
 		var cl *topology.Cluster
@@ -138,7 +181,7 @@ func main() {
 	report("initial", partition.Evaluate(g, p, c, *alpha))
 
 	st, err := paragon.Refine(g, p, c, paragon.Config{
-		DRP: *drp, Shuffles: *shuffles, KHop: *khop,
+		DRP: *drp, Workers: *workers, Shuffles: *shuffles, KHop: *khop,
 		Alpha: *alpha, MaxImbalance: *eps, Seed: *seed, NodeOf: nodeOf,
 		FaultRate: *faultRate, FaultSeed: *faultSeed,
 	})

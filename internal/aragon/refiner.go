@@ -33,6 +33,12 @@ type Refiner struct {
 	touched []int32  // partitions touched by the last dext fill
 	history []moveRec
 
+	// frozen, when non-nil, is a wave-constant view of the assignment used
+	// for reading neighbors that do not belong to the current pair. The
+	// scheduler updates it only at wave barriers, so every pair's gain
+	// computation is independent of concurrently executing pairs.
+	frozen []int32
+
 	// Cached off-diagonal-uniformity of the last cost matrix seen (keyed
 	// by its first row). Cost matrices are treated as immutable.
 	cRow0    *[]float64
@@ -59,6 +65,34 @@ func NewRefiner(g *graph.Graph, ix partition.PairIndexer, cfg Config) *Refiner {
 		dext:  make([]int64, p.K),
 		dmask: make([]uint64, partition.MaskWords(p.K)),
 	}
+}
+
+// SetFrozen installs (or clears, with nil) the wave-constant assignment
+// view consulted for neighbors outside the pair being refined. With a nil
+// frozen view the refiner reads every neighbor live — the serial ARAGON
+// semantics.
+func (r *Refiner) SetFrozen(frozen []int32) {
+	r.frozen = frozen
+}
+
+// Move is one committed vertex relocation, recorded by
+// RefinePairScheduled so the parallel scheduler can replay the kept
+// prefix against the master partitioning in deterministic task order.
+type Move struct {
+	V, To int32
+}
+
+// RefinePairScheduled is RefinePair plus a record of the kept moves: the
+// best-prefix relocations that survived rollback, appended to dst in
+// execution order. The scheduler applies them to the authoritative index
+// at commit time; the refiner itself has already applied them to its own
+// shadow view.
+func (r *Refiner) RefinePairScheduled(dst []Move, orig []int32, pi, pj int32, c [][]float64, loads []int64, maxLoad int64, allowed []bool) ([]Move, Result) {
+	res := r.RefinePair(orig, pi, pj, c, loads, maxLoad, allowed)
+	for _, m := range r.history[:res.Moves] {
+		dst = append(dst, Move{V: m.v, To: m.to})
+	}
+	return dst, res
 }
 
 // RefinePair refines the pair (pi, pj) in place — the FM hill climb with
@@ -172,7 +206,11 @@ func (r *Refiner) gain(v, from, to int32, orig []int32, c [][]float64) float64 {
 	if r.cUniform {
 		return r.gainUniform(v, from, to, orig, c)
 	}
-	r.touched = partition.ExternalDegreesSparse(r.g, r.p, v, r.dext, r.dmask, r.touched[:0])
+	if r.frozen != nil {
+		r.touched = partition.ExternalDegreesSparseFrozen(r.g, r.p.Assign, r.frozen, v, from, to, r.dext, r.dmask, r.touched[:0])
+	} else {
+		r.touched = partition.ExternalDegreesSparse(r.g, r.p, v, r.dext, r.dmask, r.touched[:0])
+	}
 	// Eq. 6: impact on the (Pi, Pj) cut.
 	gStd := r.cfg.Alpha * float64(r.dext[to]-r.dext[from]) * c[from][to]
 	// Eq. 8: impact on v's communication with every other partition.
@@ -204,12 +242,30 @@ func (r *Refiner) gainUniform(v, from, to int32, orig []int32, c [][]float64) fl
 	w = w[:len(adj)]
 	assign := r.p.Assign
 	var dfrom, dto int64
-	for i, u := range adj {
-		switch assign[u] {
-		case from:
-			dfrom += int64(w[i])
-		case to:
-			dto += int64(w[i])
+	if frozen := r.frozen; frozen != nil {
+		// Dual-view read: a neighbor counts toward the pair only if both
+		// its frozen owner and its live owner are in the pair — foreign
+		// vertices are read at their wave-constant frozen assignment, so
+		// concurrent pairs cannot perturb this sum.
+		for i, u := range adj {
+			a := frozen[u]
+			if a == from || a == to {
+				switch assign[u] {
+				case from:
+					dfrom += int64(w[i])
+				case to:
+					dto += int64(w[i])
+				}
+			}
+		}
+	} else {
+		for i, u := range adj {
+			switch assign[u] {
+			case from:
+				dfrom += int64(w[i])
+			case to:
+				dto += int64(w[i])
+			}
 		}
 	}
 	gStd := r.cfg.Alpha * float64(dto-dfrom) * c[from][to]

@@ -397,22 +397,28 @@ func TestConnectedComponents(t *testing.T) {
 
 func TestExpandFrontier(t *testing.T) {
 	g := buildPath(6)
-	f0 := ExpandFrontier(g, []int32{2}, 0)
+	f0 := ExpandFrontier(g, []int32{2}, 0, nil)
 	if len(f0) != 1 || f0[0] != 2 {
 		t.Fatalf("k=0 frontier = %v, want [2]", f0)
 	}
-	f1 := ExpandFrontier(g, []int32{2}, 1)
+	f1 := ExpandFrontier(g, []int32{2}, 1, nil)
 	if len(f1) != 3 {
 		t.Fatalf("k=1 frontier = %v, want 3 vertices", f1)
 	}
-	f9 := ExpandFrontier(g, []int32{0}, 9)
+	f9 := ExpandFrontier(g, []int32{0}, 9, nil)
 	if len(f9) != 6 {
 		t.Fatalf("k=9 frontier should cover the path, got %v", f9)
 	}
 	// Duplicated and out-of-range seeds must be handled.
-	fd := ExpandFrontier(g, []int32{1, 1, -5, 99}, 0)
+	fd := ExpandFrontier(g, []int32{1, 1, -5, 99}, 0, nil)
 	if len(fd) != 1 || fd[0] != 1 {
 		t.Fatalf("dedup frontier = %v, want [1]", fd)
+	}
+	// A caller-provided buffer must be reused, not reallocated.
+	buf := make([]int32, 0, 16)
+	fr := ExpandFrontier(g, []int32{2}, 1, buf)
+	if &fr[:1][0] != &buf[:1][0] {
+		t.Fatal("dst buffer was not reused")
 	}
 }
 

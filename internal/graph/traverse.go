@@ -144,11 +144,13 @@ func ConnectedComponents(g *Graph) ([]int32, int32) {
 	return comp, next
 }
 
-// ExpandFrontier returns the set of vertices reachable from the seed set
-// within k hops (including the seeds themselves, k=0 returns the seeds).
-// It implements the k-hop boundary expansion used to reduce communication
-// volume in §5 of the paper. The result is sorted and deduplicated.
-func ExpandFrontier(g *Graph, seeds []int32, k int) []int32 {
+// ExpandFrontier appends to dst[:0] the set of vertices reachable from
+// the seed set within k hops (including the seeds themselves, k=0 keeps
+// just the seeds). It implements the k-hop boundary expansion used to
+// reduce communication volume in §5 of the paper. The result is sorted
+// and deduplicated; pass a retained dst to amortize the output
+// allocation across calls (the per-call BFS bookkeeping is internal).
+func ExpandFrontier(g *Graph, seeds []int32, k int, dst []int32) []int32 {
 	n := g.NumVertices()
 	seen := make(map[int32]struct{}, len(seeds)*2)
 	cur := make([]int32, 0, len(seeds))
@@ -176,7 +178,7 @@ func ExpandFrontier(g *Graph, seeds []int32, k int) []int32 {
 		}
 		cur = next
 	}
-	out := make([]int32, 0, len(seen))
+	out := dst[:0]
 	for v := range seen {
 		out = append(out, v)
 	}

@@ -1,6 +1,8 @@
 package paragon
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -64,5 +66,37 @@ func benchParagonRound(b *testing.B, faultLayer bool) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkParagonRoundWorkers is the worker-scaling curve of the
+// pair-level scheduler: the identical round at Workers ∈ {1, 2, 4,
+// GOMAXPROCS}. Every point computes the bit-identical decomposition —
+// only the wall clock (and per-worker scratch) may differ.
+// scripts/bench_parallel.sh records the curve in BENCH_parallel.json.
+func BenchmarkParagonRoundWorkers(b *testing.B) {
+	gomax := runtime.GOMAXPROCS(0)
+	points := []int{1, 2, 4}
+	if gomax != 1 && gomax != 2 && gomax != 4 {
+		points = append(points, gomax)
+	}
+	for _, k := range []int32{32, 128} {
+		for _, w := range points {
+			b.Run(fmt.Sprintf("k=%d/workers=%d", k, w), func(b *testing.B) {
+				g := benchGraph100k()
+				p0 := stream.HP(g, k)
+				cfg := Config{DRP: 8, Shuffles: 0, Seed: 1, Workers: w}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					p := p0.Clone()
+					b.StartTimer()
+					if _, err := RefineUniform(g, p, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

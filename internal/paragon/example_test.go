@@ -31,7 +31,7 @@ func Example() {
 	before := partition.CommCost(g, p, c, 1)
 
 	_, err := paragon.Refine(g, p, c, paragon.Config{
-		DRP: 1, Shuffles: 0, Alpha: 1, MaxImbalance: 0.5, Seed: 1,
+		DRP: 1, Shuffles: 0, Alpha: 1, MaxImbalance: 0.5, Seed: 2,
 	})
 	if err != nil {
 		fmt.Println("refine:", err)

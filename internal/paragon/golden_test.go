@@ -26,10 +26,15 @@ func assignHash(p *partition.Partitioning) uint64 {
 }
 
 // TestGoldenRefineHashes pins the exact output of Refine for fixed seeds.
-// The hashes were recorded on the pre-index scan-based implementation;
-// the index-based hot path must reproduce them bit-identically, because
-// the incremental boundary index is a pure mechanical-sympathy change
-// (same candidates, same gains, same heap order, same moves).
+// The hashes were re-pinned once when the per-group serial pair loop was
+// replaced by the tournament-wave scheduler (DESIGN.md §12): the wave
+// schedule visits the same pairs in a different order and reads foreign
+// vertices from the per-wave frozen view instead of the round-start
+// snapshot, so the output is a different — equally valid, quality-checked
+// — fixed point. mesh-uniform-drp8 kept its original hash: with groups
+// of two the tournament degenerates to the old one-pair-per-group order.
+// Any further drift is a regression: the scheduler contract is that the
+// output is bit-identical for every Config.Workers value.
 func TestGoldenRefineHashes(t *testing.T) {
 	cases := []struct {
 		name string
@@ -38,7 +43,7 @@ func TestGoldenRefineHashes(t *testing.T) {
 	}{
 		{
 			name: "rmat-arch-aware-khop1",
-			want: 0xcfbf24f80f800b81,
+			want: 0x1caf529afa79f675,
 			run: func(t *testing.T) *partition.Partitioning {
 				g := gen.RMAT(5000, 30000, 0.57, 0.19, 0.19, 9)
 				g.UseDegreeWeights()
@@ -73,7 +78,7 @@ func TestGoldenRefineHashes(t *testing.T) {
 		},
 		{
 			name: "ba-serial-drp1",
-			want: 0x70ab2339be197053,
+			want: 0xa88d2033a0264ad5,
 			run: func(t *testing.T) *partition.Partitioning {
 				g := gen.BarabasiAlbert(3000, 4, 3)
 				g.UseDegreeWeights()

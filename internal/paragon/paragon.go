@@ -22,7 +22,7 @@ package paragon
 import (
 	"fmt"
 	"math/rand"
-	"sync"
+	"runtime"
 	"time"
 
 	"paragon/internal/aragon"
@@ -42,6 +42,12 @@ type Config struct {
 	// initial round. Zero means no shuffle refinement; DefaultConfig
 	// uses 8, the paper's microbenchmark setting.
 	Shuffles int
+	// Workers bounds the pair-level worker pool: each tournament wave's
+	// pairs (DESIGN.md §12) execute on this many workers. The result is
+	// bit-identical for every value — Workers changes wall clock and
+	// memory placement, never the refinement. Zero or negative picks
+	// runtime.GOMAXPROCS(0).
+	Workers int
 	// KHop is the boundary-expansion radius for the communication-volume
 	// reduction of §5: only vertices within KHop hops of a partition
 	// boundary are shipped to (and movable by) group servers. Default 0
@@ -101,6 +107,9 @@ func (c Config) withDefaults(k int32) Config {
 	}
 	if c.DRP < 1 {
 		c.DRP = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.Shuffles < 0 {
 		c.Shuffles = 0
@@ -224,11 +233,17 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 	clk := faultsim.NewClock()
 
 	groups := randomGrouping(k, cfg.DRP, rng)
-	// One incrementally maintained index serves every round: the exchange
+	// One incrementally maintained index serves every round: the commit
 	// phase applies each kept move through it, so boundary counts, bucket
 	// membership, and incident-edge sums stay current without per-round
 	// full-graph rebuilds or per-pair full-graph scans.
 	ix := partition.BuildIndex(g, p)
+	// The pair-level scheduler (schedule.go): one shared shadow of the
+	// master, a wave-constant frozen view, per-worker refiners and move
+	// arenas, and the sharded O(|V|) sweeps — all scratch allocated once
+	// here and reused by every round.
+	sc := newScheduler(g, p, ix, c, orig, maxLoad, cfg)
+	defer sc.close()
 	serverOf := make([]int32, k) // partition -> its group's server this round
 	st.Rounds = 1 + cfg.Shuffles
 	for round := 0; round < st.Rounds; round++ {
@@ -240,9 +255,9 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 
 		// Volume accounting: every member partition ships its k-hop
 		// boundary set to the group server (the server's own partition
-		// stays put). A single pass over the vertices, bucketed by owner
-		// through serverOf, replaces the old groups×members×|V| loops.
-		allowed := allowedMask(g, ix, cfg.KHop)
+		// stays put). Sharded over the worker pool with per-shard
+		// accumulators reduced in shard order.
+		sc.allowedMask(cfg.KHop)
 		for i := range serverOf {
 			serverOf[i] = -1
 		}
@@ -251,86 +266,73 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 				serverOf[pi] = servers[gi]
 			}
 		}
-		for v := int32(0); v < g.NumVertices(); v++ {
-			if !allowed[v] {
-				continue
-			}
-			pv := p.Assign[v]
-			if sv := serverOf[pv]; sv >= 0 && sv != pv {
-				st.BoundaryShipped++
-				st.ShippedEdgeVolume += int64(g.Degree(v))
-			}
-		}
+		shipped, edges := sc.shipAccounting(serverOf)
+		st.BoundaryShipped += shipped
+		st.ShippedEdgeVolume += edges
 
-		// Parallel group refinement against a shared snapshot: each
-		// group server refines its pairs on a private copy of the
-		// locations, exactly as the real system refines the vertices it
-		// received; changes propagate at the end-of-round exchange. The
-		// master index is read-only here: every group copies out just its
-		// own partitions' buckets (disjoint, O(|V|) total per round).
-		snapshot := append([]int32(nil), p.Assign...)
-		results := make([]groupOutcome, len(groups))
-		var wg sync.WaitGroup
-		for gi := range groups {
-			wg.Add(1)
-			go func(gi, round int) {
-				defer wg.Done()
-				// Crash fault point: a crashed group server never reports
-				// its outcome — skip the (lost) work entirely.
-				if fab != nil && fab.CrashGroup(round, gi) {
-					results[gi] = groupOutcome{crashed: true}
-					return
-				}
-				results[gi] = refineGroup(g, ix, snapshot, orig, groups[gi], c, loads, maxLoad, cfg, allowed)
-				if fab != nil {
-					results[gi].delay = fab.GroupDelay(round, gi)
-				}
-			}(gi, round)
-		}
-		wg.Wait()
-
-		// Exchange phase: apply every surviving group's moves. Groups own
-		// disjoint partitions, so their move sets are disjoint by
-		// construction, and each group's moves were computed against the
-		// shared snapshot — discarding a degraded group leaves the
-		// survivors' moves exactly as valid as they were, so a lost group
-		// costs quality, never validity. Moves flow through the index to
-		// keep it consistent for the next round.
-		var roundGain float64
+		// Fault fates are resolved up front: the injector's decisions are
+		// pure hashes of (seed, round, group), so a crashed or dropped
+		// group is known before any pair runs and none of its pairs is
+		// ever scheduled — equivalent to the real system discarding a
+		// degraded server's entire round, wherever its pairs would have
+		// sat in the tournament.
 		var roundTicks int64
-		for _, r := range results {
+		degraded := false
+		sc.live = sc.live[:0]
+		for gi := range groups {
 			if fab != nil {
-				if r.crashed {
+				if fab.CrashGroup(round, gi) {
 					// A crashed server never answers; the master burns
 					// the whole round timeout discovering that.
 					st.Faults.CrashedGroups++
 					st.Faults.DegradedGroups++
-					roundTicks = pol.RoundTimeout
+					degraded = true
 					continue
 				}
-				dur := 1 + r.delay
+				dur := 1 + fab.GroupDelay(round, gi)
 				if dur > pol.RoundTimeout {
 					// Straggler past the timeout: its moves arrive after
 					// the round committed and are discarded.
 					st.Faults.StragglerDrops++
 					st.Faults.DegradedGroups++
-					roundTicks = pol.RoundTimeout
+					degraded = true
 					continue
 				}
 				if dur > roundTicks {
 					roundTicks = dur
 				}
 			}
-			st.PairsRefined += r.pairs
-			st.Moves += r.result.Moves
-			st.Gain += r.result.Gain
-			roundGain += r.result.Gain
-			for _, mv := range r.moves {
-				from := p.Assign[mv.v]
-				ix.Move(mv.v, mv.to)
-				w := int64(g.VertexWeight(mv.v))
+			sc.live = append(sc.live, int32(gi))
+		}
+		if degraded {
+			roundTicks = pol.RoundTimeout
+		}
+
+		// Pair-parallel refinement of the surviving groups against a
+		// shared shadow of the master (DESIGN.md §12): tournament waves
+		// of disjoint pairs, frozen-view reads for foreign vertices,
+		// kept moves recorded per task.
+		sc.buildSchedule(groups)
+		sc.runRound(loads)
+
+		// Commit phase, in task order: groups own disjoint partitions
+		// and each wave's pairs are disjoint, so replaying the kept
+		// moves sequentially reproduces the shadow exactly. Gains reduce
+		// in task order (fixed-order float summation). Moves flow
+		// through the index to keep it consistent for the next round.
+		var roundGain float64
+		for ti := range sc.tasks {
+			res := sc.results[ti]
+			st.PairsRefined++
+			st.Moves += res.Moves
+			st.Gain += res.Gain
+			roundGain += res.Gain
+			for _, mv := range sc.taskMoves(int32(ti)) {
+				from := p.Assign[mv.V]
+				ix.Move(mv.V, mv.To)
+				w := int64(g.VertexWeight(mv.V))
 				loads[from] -= w
-				loads[mv.to] += w
+				loads[mv.To] += w
 			}
 		}
 		clk.Advance(roundTicks)
@@ -378,13 +380,9 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 	}
 	st.Faults.VirtualTicks = clk.Now()
 
-	// Final bookkeeping: physical data migration plan vs. the input.
-	for v := int32(0); v < g.NumVertices(); v++ {
-		if p.Assign[v] != orig[v] {
-			st.MigratedVertices++
-			st.MigrationCost += float64(g.VertexSize(v)) * c[orig[v]][p.Assign[v]]
-		}
-	}
+	// Final bookkeeping: physical data migration plan vs. the input,
+	// sharded with the float partials reduced in shard order.
+	st.MigratedVertices, st.MigrationCost = sc.migrationSweep()
 	//lint:ignore wallclock Stats.RefinementTime bookkeeping at the driver boundary
 	st.RefinementTime = time.Since(start)
 	return st, nil
@@ -394,10 +392,13 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 // UNIPARAGON baseline of §7.2 that assumes a homogeneous, contention-free
 // environment.
 func RefineUniform(g *graph.Graph, p *partition.Partitioning, cfg Config) (Stats, error) {
+	// One flat backing array with row slices: k+1 allocations would be
+	// k×k tiny ones otherwise, and the rows stay cache-adjacent.
 	k := int(p.K)
+	flat := make([]float64, k*k)
 	c := make([][]float64, k)
 	for i := range c {
-		c[i] = make([]float64, k)
+		c[i] = flat[i*k : (i+1)*k : (i+1)*k]
 		for j := range c[i] {
 			if i != j {
 				c[i][j] = 1
@@ -405,69 +406,4 @@ func RefineUniform(g *graph.Graph, p *partition.Partitioning, cfg Config) (Stats
 		}
 	}
 	return Refine(g, p, c, cfg)
-}
-
-type move struct {
-	v  int32
-	to int32
-}
-
-type groupOutcome struct {
-	moves   []move
-	result  aragon.Result
-	pairs   int
-	crashed bool  // the group server crashed; there is no outcome
-	delay   int64 // injected straggler delay in virtual ticks
-}
-
-// refineGroup is the per-group-server work: refine all pairs of the
-// group against a private view of the snapshot. The group maintains a
-// private bucket index (GroupView) seeded from the master index, so every
-// pair enumerates candidates from its two buckets instead of scanning the
-// whole vertex array, and one aragon.Refiner amortizes scratch state
-// across the group's pair loop.
-func refineGroup(g *graph.Graph, ix *partition.Index, snapshot, orig []int32, group []int32, c [][]float64, globalLoads []int64, maxLoad int64, cfg Config, allowed []bool) groupOutcome {
-	view := &partition.Partitioning{K: int32(len(c)), Assign: append([]int32(nil), snapshot...)}
-	gix := ix.GroupView(view, group)
-	loads := append([]int64(nil), globalLoads...)
-	ref := aragon.NewRefiner(g, gix, cfg.aragonConfig())
-	var out groupOutcome
-	for i := 0; i < len(group); i++ {
-		for j := i + 1; j < len(group); j++ {
-			r := ref.RefinePair(orig, group[i], group[j], c, loads, maxLoad, allowed)
-			out.result.Moves += r.Moves
-			out.result.Gain += r.Gain
-			out.pairs++
-		}
-	}
-	// All moves stay inside the group's partitions, so the changed
-	// vertices are a subset of the group's snapshot members — diff those
-	// instead of sweeping all of |V|.
-	for _, v := range gix.Members() {
-		if view.Assign[v] != snapshot[v] {
-			out.moves = append(out.moves, move{v, view.Assign[v]})
-		}
-	}
-	return out
-}
-
-// allowedMask returns the movable-vertex mask of §5: vertices within
-// cfg.KHop hops of any partition boundary. With k=0 this is exactly the
-// boundary vertex set, read straight off the index's maintained
-// external-neighbor counts — no edge traversal.
-func allowedMask(g *graph.Graph, ix *partition.Index, kHop int) []bool {
-	n := g.NumVertices()
-	mask := make([]bool, n)
-	if kHop <= 0 {
-		for v := int32(0); v < n; v++ {
-			if ix.IsBoundary(v) {
-				mask[v] = true
-			}
-		}
-		return mask
-	}
-	for _, v := range graph.ExpandFrontier(g, ix.Boundary(), kHop) {
-		mask[v] = true
-	}
-	return mask
 }

@@ -1,0 +1,409 @@
+package paragon
+
+// Pair-level parallel scheduling (DESIGN.md §12). The per-group fan-out
+// of Algorithm 1 refines each group's m·(m−1)/2 partition pairs serially
+// on its group server; here the pairs are instead laid out with the
+// round-robin tournament ("circle") schedule — every tournament round of
+// a group is a set of ⌊m/2⌋ pairs over pairwise-disjoint partitions — and
+// all groups' same-round pairs form one global wave executed concurrently
+// on a bounded worker pool.
+//
+// Determinism is structural, not incidental:
+//
+//   - Pairs within a wave touch pairwise-disjoint partitions, so their
+//     candidate buckets, load entries, and moved vertices are disjoint —
+//     every shared write during a wave goes to memory owned by exactly
+//     one pair.
+//   - Reads of vertices OUTSIDE a pair go through the `frozen` view,
+//     which only the coordinator updates, between waves, in task order.
+//     A pair's computation therefore depends only on wave-start state,
+//     never on how concurrent pairs interleave.
+//   - Per-pair results land in task-indexed slices and are reduced in
+//     task order; the O(|V|) sweeps accumulate into a fixed number of
+//     shards (sweepShards, independent of Workers) reduced in shard
+//     order, so every float sum associates identically at any worker
+//     count.
+//
+// The result is bit-identical to serial execution of the same schedule
+// for any Config.Workers, which TestSchedulerDeterminism asserts.
+
+import (
+	"paragon/internal/aragon"
+	"paragon/internal/graph"
+	"paragon/internal/partition"
+)
+
+// sweepShards is the fixed shard count for the per-round O(|V|) sweeps
+// (allowed mask, boundary-shipping accounting, final migration sweep).
+// It is deliberately independent of Config.Workers: per-shard
+// accumulators always cover identical vertex ranges, so the shard-order
+// reduction sums over the same boundaries no matter how many workers
+// executed the shards.
+const sweepShards = 64
+
+// pairTask is one scheduled refinement pair.
+type pairTask struct {
+	pi, pj int32
+}
+
+// taskSpan locates a task's kept moves inside its worker's arena. Arenas
+// grow by append, so the span stores indices, not slices.
+type taskSpan struct {
+	worker int32
+	mstart int32
+	mend   int32
+}
+
+// span is the work order sent to every worker: a task kind plus, for
+// pair waves, the wave's task range. Workers pick the indices congruent
+// to their id modulo Workers — a static assignment, so allocation counts
+// are deterministic for a fixed worker count (no work stealing).
+type span struct {
+	kind int32
+	lo   int32
+	hi   int32
+}
+
+const (
+	kindPairs int32 = iota
+	kindMask
+	kindShip
+	kindMigrate
+)
+
+// scheduler owns the shared state of one Refine call's parallel
+// execution: the shadow view the waves refine, the wave-constant frozen
+// assignment, the per-worker refiners and move arenas, and the shard
+// accumulators of the O(|V|) sweeps. It is created once per Refine and
+// its worker goroutines live until close.
+type scheduler struct {
+	g       *graph.Graph
+	pm      *partition.Partitioning // master (authoritative) partitioning
+	ix      *partition.Index
+	c       [][]float64
+	orig    []int32
+	maxLoad int64
+	workers int
+
+	cur    *partition.Partitioning // shared live view refined by the waves
+	frozen []int32                 // wave-constant copy, synced at barriers
+	shadow *partition.Shadow
+
+	refiners []*aragon.Refiner
+	arenas   [][]aragon.Move
+
+	tasks   []pairTask
+	waves   []int32 // wave t = tasks[waves[t]:waves[t+1]]
+	spans   []taskSpan
+	results []aragon.Result
+	live    []int32 // surviving group indices this round, ascending
+
+	roundLoads []int64
+
+	mask     []bool  // per-round movable-vertex mask (§5), reused
+	boundary []int32 // AppendBoundary scratch for the k-hop path
+	frontier []int32 // ExpandFrontier scratch for the k-hop path
+	serverOf []int32 // partition -> group server, set by the caller
+
+	shipVerts []int64
+	shipEdges []int64
+	migVerts  []int64
+	migCost   []float64
+
+	start []chan span
+	done  chan struct{}
+}
+
+func newScheduler(g *graph.Graph, pm *partition.Partitioning, ix *partition.Index, c [][]float64, orig []int32, maxLoad int64, cfg Config) *scheduler {
+	n := g.NumVertices()
+	w := cfg.Workers
+	sc := &scheduler{
+		g:       g,
+		pm:      pm,
+		ix:      ix,
+		c:       c,
+		orig:    orig,
+		maxLoad: maxLoad,
+		workers: w,
+
+		cur:    &partition.Partitioning{K: pm.K, Assign: make([]int32, n)},
+		frozen: make([]int32, n),
+
+		refiners: make([]*aragon.Refiner, w),
+		arenas:   make([][]aragon.Move, w),
+
+		roundLoads: make([]int64, pm.K),
+		mask:       make([]bool, n),
+
+		shipVerts: make([]int64, sweepShards),
+		shipEdges: make([]int64, sweepShards),
+		migVerts:  make([]int64, sweepShards),
+		migCost:   make([]float64, sweepShards),
+
+		start: make([]chan span, w),
+		done:  make(chan struct{}, w),
+	}
+	sc.shadow = partition.NewShadow(sc.cur, n)
+	acfg := cfg.aragonConfig()
+	for i := 0; i < w; i++ {
+		r := aragon.NewRefiner(g, sc.shadow, acfg)
+		r.SetFrozen(sc.frozen)
+		sc.refiners[i] = r
+		sc.start[i] = make(chan span, 1)
+		go sc.worker(i)
+	}
+	return sc
+}
+
+// close shuts the worker pool down. Workers drain their channel and
+// exit; the buffered done channel needs no further synchronization
+// because close is only called after every dispatched span completed.
+func (sc *scheduler) close() {
+	for _, ch := range sc.start {
+		close(ch)
+	}
+}
+
+func (sc *scheduler) worker(w int) {
+	for sp := range sc.start[w] {
+		switch sp.kind {
+		case kindPairs:
+			sc.runPairs(w, sp.lo, sp.hi)
+		case kindMask:
+			sc.runMaskShards(w)
+		case kindShip:
+			sc.runShipShards(w)
+		case kindMigrate:
+			sc.runMigrateShards(w)
+		}
+		sc.done <- struct{}{}
+	}
+}
+
+// dispatch hands one span to every worker and waits for all of them —
+// the wave barrier. Channel send/receive pairs give the coordinator's
+// preceding writes happens-before visibility in the workers and vice
+// versa on completion.
+func (sc *scheduler) dispatch(sp span) {
+	for _, ch := range sc.start {
+		ch <- sp
+	}
+	for range sc.start {
+		<-sc.done
+	}
+}
+
+// shardRange returns shard s of [0, n) under the fixed sweepShards
+// split. 64-bit intermediate math: n·s can exceed int32.
+func shardRange(n int32, s int) (int32, int32) {
+	lo := int32(int64(n) * int64(s) / sweepShards)
+	hi := int32(int64(n) * int64(s+1) / sweepShards)
+	return lo, hi
+}
+
+// buildSchedule lays out the round's tasks: wave t holds, in ascending
+// group order, every surviving group's tournament-round-t pairs. Groups
+// of uneven size finish early; their slots simply stop contributing to
+// later waves.
+func (sc *scheduler) buildSchedule(groups [][]int32) {
+	sc.tasks = sc.tasks[:0]
+	sc.waves = sc.waves[:0]
+	maxR := 0
+	for _, gi := range sc.live {
+		m := len(groups[gi])
+		if r := m + (m & 1) - 1; r > maxR {
+			maxR = r
+		}
+	}
+	sc.waves = append(sc.waves, 0)
+	for t := 0; t < maxR; t++ {
+		for _, gi := range sc.live {
+			sc.appendWavePairs(groups[gi], t)
+		}
+		sc.waves = append(sc.waves, int32(len(sc.tasks)))
+	}
+	nt := len(sc.tasks)
+	if cap(sc.results) < nt {
+		sc.results = make([]aragon.Result, nt)
+		sc.spans = make([]taskSpan, nt)
+	} else {
+		sc.results = sc.results[:nt]
+		sc.spans = sc.spans[:nt]
+	}
+}
+
+// appendWavePairs appends tournament round t of one group: the circle
+// method over M = m (+1 if odd, a bye) slots. Slot M−1 is fixed and
+// plays slot t; slot (t+i) mod (M−1) plays slot (t−i) mod (M−1). Pairs
+// within one round are pairwise disjoint — the disjointness the wave
+// barrier relies on.
+func (sc *scheduler) appendWavePairs(group []int32, t int) {
+	m := len(group)
+	mm := m + (m & 1)
+	rounds := mm - 1
+	if t >= rounds {
+		return
+	}
+	pair := func(a, b int) {
+		if a >= m || b >= m {
+			return // the bye slot of an odd group
+		}
+		pi, pj := group[a], group[b]
+		if pi > pj {
+			pi, pj = pj, pi
+		}
+		sc.tasks = append(sc.tasks, pairTask{pi, pj})
+	}
+	pair(mm-1, t%rounds)
+	for i := 1; i < mm/2; i++ {
+		pair((t+i)%rounds, (t-i+rounds)%rounds)
+	}
+}
+
+// runRound executes the current schedule against a fresh shadow of the
+// master: wave by wave, with the coordinator syncing the frozen view in
+// task order at every barrier. Kept moves land in per-worker arenas;
+// the commit loop in Refine replays them into the master in task order.
+func (sc *scheduler) runRound(loads []int64) {
+	copy(sc.cur.Assign, sc.pm.Assign)
+	copy(sc.frozen, sc.pm.Assign)
+	sc.shadow.Reset(sc.ix)
+	copy(sc.roundLoads, loads)
+	for w := range sc.arenas {
+		sc.arenas[w] = sc.arenas[w][:0]
+	}
+	for t := 0; t+1 < len(sc.waves); t++ {
+		lo, hi := sc.waves[t], sc.waves[t+1]
+		if lo == hi {
+			continue
+		}
+		sc.dispatch(span{kind: kindPairs, lo: lo, hi: hi})
+		// Wave barrier: publish this wave's kept moves into the frozen
+		// view, in task order. Each vertex is moved by at most one pair
+		// per wave (disjoint partitions), so this is a plain replay.
+		for ti := lo; ti < hi; ti++ {
+			for _, mv := range sc.taskMoves(ti) {
+				sc.frozen[mv.V] = mv.To
+			}
+		}
+	}
+}
+
+// runPairs refines this worker's share (static modulo assignment) of
+// one wave's tasks.
+func (sc *scheduler) runPairs(w int, lo, hi int32) {
+	r := sc.refiners[w]
+	for ti := lo; ti < hi; ti++ {
+		if int(ti)%sc.workers != w {
+			continue
+		}
+		t := sc.tasks[ti]
+		mstart := int32(len(sc.arenas[w]))
+		var res aragon.Result
+		sc.arenas[w], res = r.RefinePairScheduled(sc.arenas[w], sc.orig, t.pi, t.pj, sc.c, sc.roundLoads, sc.maxLoad, sc.mask)
+		sc.results[ti] = res
+		sc.spans[ti] = taskSpan{worker: int32(w), mstart: mstart, mend: int32(len(sc.arenas[w]))}
+	}
+}
+
+// taskMoves returns task ti's kept moves, in execution order.
+func (sc *scheduler) taskMoves(ti int32) []aragon.Move {
+	sp := sc.spans[ti]
+	return sc.arenas[sp.worker][sp.mstart:sp.mend]
+}
+
+// allowedMask fills the reusable movable-vertex mask of §5. The k-hop 0
+// default reads the index's maintained boundary bits, sharded across
+// the pool; the k-hop expansion is a BFS and stays serial, reusing the
+// boundary/frontier scratch.
+func (sc *scheduler) allowedMask(kHop int) []bool {
+	if kHop <= 0 {
+		sc.dispatch(span{kind: kindMask})
+		return sc.mask
+	}
+	for i := range sc.mask {
+		sc.mask[i] = false
+	}
+	sc.boundary = sc.ix.AppendBoundary(sc.boundary[:0])
+	sc.frontier = graph.ExpandFrontier(sc.g, sc.boundary, kHop, sc.frontier)
+	for _, v := range sc.frontier {
+		sc.mask[v] = true
+	}
+	return sc.mask
+}
+
+func (sc *scheduler) runMaskShards(w int) {
+	n := sc.g.NumVertices()
+	for s := w; s < sweepShards; s += sc.workers {
+		lo, hi := shardRange(n, s)
+		for v := lo; v < hi; v++ {
+			sc.mask[v] = sc.ix.IsBoundary(v)
+		}
+	}
+}
+
+// shipAccounting runs the boundary-shipping volume sweep: every allowed
+// vertex whose partition's group server is a different partition is
+// shipped, with its half-edges. serverOf maps partition -> server (−1
+// for partitions outside every group).
+func (sc *scheduler) shipAccounting(serverOf []int32) (verts, edges int64) {
+	sc.serverOf = serverOf
+	sc.dispatch(span{kind: kindShip})
+	for s := 0; s < sweepShards; s++ {
+		verts += sc.shipVerts[s]
+		edges += sc.shipEdges[s]
+	}
+	return verts, edges
+}
+
+func (sc *scheduler) runShipShards(w int) {
+	n := sc.g.NumVertices()
+	assign := sc.pm.Assign
+	for s := w; s < sweepShards; s += sc.workers {
+		lo, hi := shardRange(n, s)
+		var verts, edges int64
+		for v := lo; v < hi; v++ {
+			if !sc.mask[v] {
+				continue
+			}
+			if sv := sc.serverOf[assign[v]]; sv >= 0 && sv != assign[v] {
+				verts++
+				edges += int64(sc.g.Degree(v))
+			}
+		}
+		sc.shipVerts[s] = verts
+		sc.shipEdges[s] = edges
+	}
+}
+
+// migrationSweep computes the final migration plan vs. the input
+// decomposition. Per-shard float partials are reduced in shard order —
+// the fixed-order float reduction of the determinism contract.
+func (sc *scheduler) migrationSweep() (int64, float64) {
+	sc.dispatch(span{kind: kindMigrate})
+	var mv int64
+	var mc float64
+	for s := 0; s < sweepShards; s++ {
+		mv += sc.migVerts[s]
+		mc += sc.migCost[s]
+	}
+	return mv, mc
+}
+
+func (sc *scheduler) runMigrateShards(w int) {
+	n := sc.g.NumVertices()
+	assign := sc.pm.Assign
+	for s := w; s < sweepShards; s += sc.workers {
+		lo, hi := shardRange(n, s)
+		var mv int64
+		var mc float64
+		for v := lo; v < hi; v++ {
+			if assign[v] != sc.orig[v] {
+				mv++
+				mc += float64(sc.g.VertexSize(v)) * sc.c[sc.orig[v]][assign[v]]
+			}
+		}
+		sc.migVerts[s] = mv
+		sc.migCost[s] = mc
+	}
+}

@@ -138,14 +138,17 @@ func (ix *Index) ExternalNeighbors(v int32) int32 { return ix.ext[v] }
 
 // Boundary returns every boundary vertex in ascending order — one O(|V|)
 // sweep over the maintained counts, with no edge traversal.
-func (ix *Index) Boundary() []int32 {
-	var out []int32
+func (ix *Index) Boundary() []int32 { return ix.AppendBoundary(nil) }
+
+// AppendBoundary appends every boundary vertex to dst in ascending order
+// and returns dst, so per-round callers can reuse one backing array.
+func (ix *Index) AppendBoundary(dst []int32) []int32 {
 	for v := int32(0); v < int32(len(ix.ext)); v++ {
 		if ix.ext[v] > 0 {
-			out = append(out, v)
+			dst = append(dst, v)
 		}
 	}
-	return out
+	return dst
 }
 
 // PartitionVertices returns the vertices of partition q in bucket order
@@ -217,82 +220,76 @@ func (ix *Index) Validate() error {
 	return nil
 }
 
-// GroupIndex is a PARAGON group server's private delta view over a round
-// snapshot: bucket membership for only the group's partitions, maintained
-// on Move with O(1) bucket updates. It tracks no boundary counts — group
+// Shadow is the pair-level scheduler's copy-free round view: one mutable
+// bucket shadow of a master Index, shared by every group server of a
+// round. Groups own disjoint partitions and every tournament wave's
+// pairs are partition-disjoint, so concurrent pair refinements touch
+// disjoint buckets, disjoint pos entries, and disjoint Assign entries of
+// the shared view — no per-group copies, no synchronization beyond the
+// scheduler's wave barriers. It tracks no boundary counts — scheduled
 // refinement always runs under the round's k-hop allowed mask, which
 // subsumes the boundary test — so Move is O(1), not O(deg).
-type GroupIndex struct {
+//
+// Reset reseeds the shadow from the master index while reusing every
+// backing array, so steady-state rounds allocate nothing.
+type Shadow struct {
 	p       *Partitioning
 	buckets [][]int32
 	pos     []int32
-	members []int32 // snapshot membership of the group's partitions, ascending
 }
 
-// GroupView builds a group server's private index over view, a copy of
-// the snapshot this index currently describes. Only the buckets of the
-// group's partitions are copied — O(Σ |P_i|, i ∈ group) — so the per-round
-// cost across all (disjoint) groups totals O(|V|), and the base index can
-// be shared read-only between concurrent group servers.
-func (ix *Index) GroupView(view *Partitioning, group []int32) *GroupIndex {
-	gx := &GroupIndex{
+// NewShadow builds an empty shadow over view; view.Assign is the shared
+// live assignment array the round's pairs mutate. Call Reset before use.
+func NewShadow(view *Partitioning, n int32) *Shadow {
+	return &Shadow{
 		p:       view,
 		buckets: make([][]int32, view.K),
-		pos:     make([]int32, len(ix.pos)),
+		pos:     make([]int32, n),
 	}
-	total := 0
-	for _, pi := range group {
-		total += len(ix.buckets[pi])
-	}
-	members := make([]int32, 0, total)
-	for _, pi := range group {
-		b := append([]int32(nil), ix.buckets[pi]...)
-		gx.buckets[pi] = b
-		for i, v := range b {
-			gx.pos[v] = int32(i)
-		}
-		members = append(members, b...)
-	}
-	slices.Sort(members)
-	gx.members = members
-	return gx
 }
 
-// Partitioning returns the group's private view of the decomposition.
-func (gx *GroupIndex) Partitioning() *Partitioning { return gx.p }
+// Reset reseeds the shadow's buckets and positions from the master index
+// in O(|V|), reusing the bucket backing arrays. The caller must bring
+// the view's Assign array in sync with the master separately (the
+// scheduler copies it once per round).
+func (s *Shadow) Reset(ix *Index) {
+	copy(s.pos, ix.pos)
+	for q := range s.buckets {
+		s.buckets[q] = append(s.buckets[q][:0], ix.buckets[q]...)
+	}
+}
 
-// Members returns the vertices owned by the group's partitions at
-// snapshot time, ascending. Every vertex the group can move is in this
-// set, so diffing it against the snapshot yields the group's move list
-// without an O(|V|) sweep.
-func (gx *GroupIndex) Members() []int32 { return gx.members }
+// Partitioning returns the shared round view of the decomposition.
+func (s *Shadow) Partitioning() *Partitioning { return s.p }
 
-// Move implements PairIndexer for the group's partitions in O(1).
-func (gx *GroupIndex) Move(v, to int32) {
-	from := gx.p.Assign[v]
+// Move implements PairIndexer in O(1). Concurrent calls are safe iff
+// they move vertices of disjoint partition pairs, which the tournament
+// schedule guarantees within a wave.
+func (s *Shadow) Move(v, to int32) {
+	from := s.p.Assign[v]
 	if from == to {
 		return
 	}
-	b := gx.buckets[from]
-	i := gx.pos[v]
+	b := s.buckets[from]
+	i := s.pos[v]
 	last := int32(len(b)) - 1
 	w := b[last]
 	b[i] = w
-	gx.pos[w] = i
-	gx.buckets[from] = b[:last]
-	gx.pos[v] = int32(len(gx.buckets[to]))
-	gx.buckets[to] = append(gx.buckets[to], v)
-	gx.p.Assign[v] = to
+	s.pos[w] = i
+	s.buckets[from] = b[:last]
+	s.pos[v] = int32(len(s.buckets[to]))
+	s.buckets[to] = append(s.buckets[to], v)
+	s.p.Assign[v] = to
 }
 
-// AppendPairCandidates implements PairIndexer. A GroupIndex tracks no
+// AppendPairCandidates implements PairIndexer. A Shadow tracks no
 // boundary counts, so the mask is mandatory.
-func (gx *GroupIndex) AppendPairCandidates(dst []int32, pi, pj int32, allowed []bool) []int32 {
+func (s *Shadow) AppendPairCandidates(dst []int32, pi, pj int32, allowed []bool) []int32 {
 	if allowed == nil {
-		panic("partition: GroupIndex.AppendPairCandidates requires an allowed mask (group views keep no boundary counts)")
+		panic("partition: Shadow.AppendPairCandidates requires an allowed mask (shadows keep no boundary counts)")
 	}
 	n0 := len(dst)
-	for _, b := range [2][]int32{gx.buckets[pi], gx.buckets[pj]} {
+	for _, b := range [2][]int32{s.buckets[pi], s.buckets[pj]} {
 		for _, v := range b {
 			if allowed[v] {
 				dst = append(dst, v)
@@ -323,6 +320,35 @@ func ExternalDegreesSparse(g *graph.Graph, p *Partitioning, v int32, buf []int64
 		buf[pu] += int64(w[i])
 		mask[pu>>6] |= 1 << (pu & 63)
 	}
+	return drainMask(mask, tlist)
+}
+
+// ExternalDegreesSparseFrozen is ExternalDegreesSparse under the
+// tournament scheduler's dual-view read rule: a neighbor whose frozen
+// owner is pi or pj belongs to the calling pair — only that pair moves
+// it this wave, so its live entry in cur is read race-free — while every
+// other neighbor is read from frozen, whose entries change only at wave
+// barriers. The result is independent of how concurrently executing
+// pairs interleave.
+func ExternalDegreesSparseFrozen(g *graph.Graph, cur, frozen []int32, v, pi, pj int32, buf []int64, mask []uint64, tlist []int32) []int32 {
+	adj := g.Neighbors(v)
+	w := g.EdgeWeights(v)
+	w = w[:len(adj)]
+	for i, u := range adj {
+		pu := frozen[u]
+		if pu == pi || pu == pj {
+			pu = cur[u]
+		}
+		buf[pu] += int64(w[i])
+		mask[pu>>6] |= 1 << (pu & 63)
+	}
+	return drainMask(mask, tlist)
+}
+
+// drainMask appends the set bits of mask to tlist in ascending order and
+// clears them — the sort-free path that keeps gain summation in
+// ascending partition order.
+func drainMask(mask []uint64, tlist []int32) []int32 {
 	for wi, b := range mask {
 		if b == 0 {
 			continue

@@ -130,40 +130,28 @@ func TestIndexMaintainedAggregates(t *testing.T) {
 	}
 }
 
-func TestGroupView(t *testing.T) {
+func TestShadow(t *testing.T) {
 	g := gen.ErdosRenyi(200, 800, 5)
 	rng := rand.New(rand.NewSource(13))
 	const k = 6
 	p := randomPartitioning(g, k, rng)
 	ix := BuildIndex(g, p)
-	group := []int32{1, 3, 4}
 	view := p.Clone()
-	gx := ix.GroupView(view, group)
-
-	// Members must be exactly the group's vertices, ascending.
-	var want []int32
-	for v := int32(0); v < g.NumVertices(); v++ {
-		if slices.Contains(group, p.Assign[v]) {
-			want = append(want, v)
-		}
-	}
-	if !slices.Equal(gx.Members(), want) {
-		t.Fatalf("Members() = %v, want %v", gx.Members(), want)
-	}
+	s := NewShadow(view, g.NumVertices())
+	s.Reset(ix)
 
 	// Candidate enumeration under a mask must match the scan over the view,
-	// before and after moves through the group index.
+	// before and after moves through the shadow.
 	allowed := make([]bool, g.NumVertices())
 	for v := range allowed {
 		allowed[v] = rng.Intn(2) == 0
 	}
 	checkPairs := func() {
 		t.Helper()
-		for a := 0; a < len(group); a++ {
-			for b := a + 1; b < len(group); b++ {
-				pi, pj := group[a], group[b]
+		for pi := int32(0); pi < k; pi++ {
+			for pj := pi + 1; pj < k; pj++ {
 				want := scanPairCandidates(g, view, pi, pj, allowed)
-				got := gx.AppendPairCandidates(nil, pi, pj, allowed)
+				got := s.AppendPairCandidates(nil, pi, pj, allowed)
 				if !slices.Equal(got, want) {
 					t.Fatalf("pair (%d,%d): got %v want %v", pi, pj, got, want)
 				}
@@ -171,25 +159,104 @@ func TestGroupView(t *testing.T) {
 		}
 	}
 	checkPairs()
-	for i := 0; i < 100; i++ {
-		v := gx.Members()[rng.Intn(len(gx.Members()))]
-		gx.Move(v, group[rng.Intn(len(group))])
+	for i := 0; i < 200; i++ {
+		s.Move(rng.Int31n(g.NumVertices()), rng.Int31n(k))
 	}
 	checkPairs()
 
-	// Moves through the view must not have leaked into the base index or
+	// Moves through the shadow must not have leaked into the base index or
 	// the base partitioning.
 	if err := ix.Validate(); err != nil {
-		t.Fatalf("base index corrupted by group moves: %v", err)
+		t.Fatalf("base index corrupted by shadow moves: %v", err)
 	}
 
-	// A nil mask is a programming error for group views.
+	// Reset must discard the shadow's divergence and re-match the master,
+	// reusing the same shadow for a fresh round.
+	copy(view.Assign, p.Assign)
+	s.Reset(ix)
+	checkPairs()
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A nil mask is a programming error for shadows.
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for nil mask")
 		}
 	}()
-	gx.AppendPairCandidates(nil, group[0], group[1], nil)
+	s.AppendPairCandidates(nil, 0, 1, nil)
+}
+
+func TestExternalDegreesSparseFrozen(t *testing.T) {
+	// With frozen == cur the frozen variant must agree with the live one
+	// for every vertex and pair; with a diverged cur, pair-owned neighbors
+	// must be read live and all others from the frozen view.
+	g := gen.ErdosRenyi(300, 1500, 23)
+	rng := rand.New(rand.NewSource(29))
+	const k = 6
+	p := randomPartitioning(g, k, rng)
+	frozen := append([]int32(nil), p.Assign...)
+	buf := make([]int64, k)
+	mask := make([]uint64, MaskWords(k))
+	ref := make([]int64, k)
+	var tlist []int32
+	for v := int32(0); v < g.NumVertices(); v++ {
+		tlist = ExternalDegreesSparse(g, p, v, buf, mask, tlist[:0])
+		copy(ref, buf)
+		for _, q := range tlist {
+			buf[q] = 0
+		}
+		tlist = ExternalDegreesSparseFrozen(g, p.Assign, frozen, v, 0, 1, buf, mask, tlist[:0])
+		for q := int32(0); q < k; q++ {
+			if buf[q] != ref[q] {
+				t.Fatalf("v=%d frozen==cur: d_ext[%d] = %d, want %d", v, q, buf[q], ref[q])
+			}
+		}
+		for _, q := range tlist {
+			buf[q] = 0
+		}
+	}
+	// Diverge cur: flip some vertices between partitions 0 and 1 (the
+	// "pair"), and some others among foreign partitions. Frozen reads must
+	// see pair members live and foreigners at their frozen owners.
+	cur := append([]int32(nil), p.Assign...)
+	for i := 0; i < 100; i++ {
+		v := rng.Int31n(g.NumVertices())
+		if cur[v] <= 1 {
+			cur[v] = 1 - cur[v] // pair-internal move, visible
+		} else {
+			cur[v] = 2 + (cur[v]+1)%4 // foreign move, must stay invisible
+		}
+	}
+	for v := int32(0); v < g.NumVertices(); v++ {
+		// The reference: neighbors owned by the pair (per frozen) read cur,
+		// others read frozen.
+		for q := range ref {
+			ref[q] = 0
+		}
+		adj := g.Neighbors(v)
+		w := g.EdgeWeights(v)
+		for i, u := range adj {
+			pu := frozen[u]
+			if pu == 0 || pu == 1 {
+				pu = cur[u]
+			}
+			ref[pu] += int64(w[i])
+		}
+		tlist = ExternalDegreesSparseFrozen(g, cur, frozen, v, 0, 1, buf, mask, tlist[:0])
+		if !slices.IsSorted(tlist) {
+			t.Fatalf("v=%d: touched list not sorted: %v", v, tlist)
+		}
+		for q := int32(0); q < k; q++ {
+			if buf[q] != ref[q] {
+				t.Fatalf("v=%d diverged: d_ext[%d] = %d, want %d", v, q, buf[q], ref[q])
+			}
+		}
+		for _, q := range tlist {
+			buf[q] = 0
+		}
+	}
 }
 
 func TestExternalDegreesSparse(t *testing.T) {

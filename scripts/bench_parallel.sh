@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Worker-scaling curve of the pair-level scheduler: runs
+# BenchmarkParagonRoundWorkers (100k-vertex RMAT, k ∈ {32, 128},
+# Workers ∈ {1, 2, 4, GOMAXPROCS}) and emits BENCH_parallel.json with
+# ns/op, allocs/op, the speedup of each point over its own workers=1
+# run, and the speedup over the committed pre-scheduler
+# BenchmarkParagonRound numbers (per-group serial pair loops). The
+# machine's core count is recorded: scaling beyond it is physically
+# impossible, so the curve is only meaningful on the hardware that ran
+# it.
+#
+# Usage: scripts/bench_parallel.sh [output.json]
+#   BENCHTIME=10x scripts/bench_parallel.sh   # more iterations
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_parallel.json}"
+benchtime="${BENCHTIME:-5x}"
+count="${BENCHCOUNT:-3}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkParagonRoundWorkers' -count "$count" \
+    -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee "$tmp"
+
+cores="$(go env GOMAXPROCS 2>/dev/null || true)"
+cores="${cores:-$(getconf _NPROCESSORS_ONLN)}"
+ncpu="$(getconf _NPROCESSORS_ONLN)"
+
+# Lines look like:
+#   BenchmarkParagonRoundWorkers/k=128/workers=4-8  5  93...  ns/op  ...  B/op  870 allocs/op
+awk -v out="$out" -v benchtime="$benchtime" -v count="$count" -v ncpu="$ncpu" '
+/^BenchmarkParagonRoundWorkers\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^BenchmarkParagonRoundWorkers\//, "", name)
+    if (!(name in ns) || $3 + 0 < ns[name] + 0) { ns[name] = $3; allocs[name] = $7 }
+    if (!(name in seen)) { seen[name] = 1; order[n++] = name }
+}
+END {
+    if (n == 0) { print "bench_parallel.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    # Committed pre-scheduler baselines (BenchmarkParagonRound, per-group
+    # serial pair loops, commit 0ca194f measured on this repo hardware).
+    base["k=32"] = 100228698; base["k=128"] = 352939122
+    basealloc["k=32"] = 1201; basealloc["k=128"] = 2309
+    # workers=1 reference per k, for the self-relative scaling column.
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        split(name, parts, "/")
+        if (parts[2] == "workers=1") w1[parts[1]] = ns[name]
+    }
+    printf("{\n")                                                > out
+    printf("  \"benchtime\": \"min ns/op over %s runs of %s\",\n", count, benchtime) > out
+    printf("  \"graph\": \"RMAT n=100000 m=800000 seed=42, degree weights, DRP 8, 1 round\",\n") > out
+    printf("  \"hardware\": { \"online_cpus\": %s },\n", ncpu)   > out
+    printf("  \"baseline\": \"committed BenchmarkParagonRound (per-group serial pair loops): k=32 100228698 ns/op / 1201 allocs, k=128 352939122 ns/op / 2309 allocs\",\n") > out
+    printf("  \"note\": \"every point computes the bit-identical decomposition; only wall clock and worker scratch differ. speedup_vs_workers1 is bounded above by min(workers, online_cpus).\",\n") > out
+    printf("  \"points\": {\n")                                  > out
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        split(name, parts, "/")
+        k = parts[1]
+        s1 = (w1[k] > 0) ? w1[k] / ns[name] : 0
+        sb = (base[k] > 0) ? base[k] / ns[name] : 0
+        printf("    \"%s\": { \"ns_op\": %s, \"allocs_op\": %s, \"speedup_vs_workers1\": %.2f, \"speedup_vs_committed_baseline\": %.2f, \"allocs_vs_committed_baseline\": \"%s/%s\" }%s\n",
+               name, ns[name], allocs[name], s1, sb, allocs[name], basealloc[k], (i < n - 1) ? "," : "") > out
+    }
+    printf("  }\n}\n")                                           > out
+}
+' "$tmp"
+
+echo "bench_parallel: wrote $out"

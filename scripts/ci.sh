@@ -16,4 +16,14 @@ go build ./...
 go test -shuffle=on ./...
 go test -race -shuffle=on ./...
 
+# Scheduler worker extremes: the paragon package under the race detector
+# at GOMAXPROCS 1 and 4, so the pair-level waves run both fully serialized
+# and genuinely interleaved (TestSchedulerDeterminism's contract holds at
+# every worker count; -cpu also changes the Config.Workers default).
+go test -race -cpu=1,4 ./internal/paragon/
+
+# Bench bitrot smoke: compile and run every benchmark once so benchmark
+# code can't silently rot between perf-measurement sessions.
+go test -bench=. -benchtime=1x -run='^$' ./... > /dev/null
+
 echo "ci: all green"
