@@ -23,18 +23,31 @@
 //
 //	paragon -in graph.metis -k 128 -workers 8 -cpuprofile cpu.pb.gz
 //	go tool pprof cpu.pb.gz
+//
+// Observability (DESIGN.md §13): -trace writes the structured refinement
+// event stream as JSONL, -metrics writes the per-phase counters in the
+// Prometheus text format, -summary prints a human per-phase table. Both
+// files are deterministic — stamped with virtual ticks, never wall
+// clock — so the same seeded run produces byte-identical files at any
+// -workers value. -pprof-http serves net/http/pprof for live profiling
+// of long refinements:
+//
+//	paragon -in graph.metis -trace run.jsonl -metrics run.prom -summary
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
 	"paragon/internal/graph"
 	"paragon/internal/metis"
+	"paragon/internal/obs"
 	"paragon/internal/paragon"
 	"paragon/internal/partition"
 	"paragon/internal/stream"
@@ -62,7 +75,19 @@ func main() {
 	topo := flag.Bool("topo", false, "print the modeled cluster topology and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here (pprof format)")
 	memProfile := flag.String("memprofile", "", "write a heap profile here on exit (pprof format)")
+	traceOut := flag.String("trace", "", "write the structured refinement event stream here (JSONL, deterministic)")
+	metricsOut := flag.String("metrics", "", "write refinement metrics here (Prometheus text format, deterministic)")
+	summary := flag.Bool("summary", false, "print a per-phase metrics summary table after refinement")
+	pprofHTTP := flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the run")
 	flag.Parse()
+
+	if *pprofHTTP != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofHTTP, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "paragon: pprof server: %v\n", err)
+			}
+		}()
+	}
 
 	if *cpuProfile != "" {
 		pf, err := os.Create(*cpuProfile)
@@ -180,10 +205,20 @@ func main() {
 	}
 	report("initial", partition.Evaluate(g, p, c, *alpha))
 
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+	}
+	var registry *obs.Registry
+	if *metricsOut != "" || *summary {
+		registry = obs.NewRegistry()
+	}
+
 	st, err := paragon.Refine(g, p, c, paragon.Config{
 		DRP: *drp, Workers: *workers, Shuffles: *shuffles, KHop: *khop,
 		Alpha: *alpha, MaxImbalance: *eps, Seed: *seed, NodeOf: nodeOf,
 		FaultRate: *faultRate, FaultSeed: *faultSeed,
+		Trace: tracer, Metrics: registry,
 	})
 	if err != nil {
 		fatal(err)
@@ -201,6 +236,40 @@ func main() {
 			st.Faults.CrashedGroups, st.Faults.StragglerDrops, st.Faults.DegradedGroups,
 			st.Faults.ExchangeRetries, st.Faults.ExchangeAborts,
 			st.Faults.VirtualTicks, st.Faults.BackoffTicks)
+	}
+
+	if tracer != nil {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteJSONL(tf, tracer); err != nil {
+			fatal(err)
+		}
+		if err := tf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace to %s (%d events, %d dropped)\n", *traceOut, tracer.Len(), tracer.Dropped())
+	}
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteProm(mf, registry); err != nil {
+			fatal(err)
+		}
+		if err := mf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+	if *summary {
+		fmt.Println()
+		if err := obs.WriteSummary(os.Stdout, registry); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
 	}
 
 	if *out != "" {

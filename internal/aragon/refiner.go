@@ -56,10 +56,10 @@ type moveRec struct {
 func NewRefiner(g *graph.Graph, ix partition.PairIndexer, cfg Config) *Refiner {
 	p := ix.Partitioning()
 	return &Refiner{
-		g:    g,
-		p:    p,
-		ix:   ix,
-		cfg:  cfg.WithDefaults(),
+		g:     g,
+		p:     p,
+		ix:    ix,
+		cfg:   cfg.WithDefaults(),
 		slot:  make([]int32, g.NumVertices()),
 		h:     newFloatHeap(64),
 		dext:  make([]int64, p.K),

@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"paragon/internal/faultsim"
+	"paragon/internal/obs"
 )
 
 // ErrExchangeFailed marks an exchange abandoned after a message was
@@ -46,8 +47,11 @@ var ErrExchangeFailed = errors.New("message dropped beyond retry budget")
 // retrying with capped backoff until it is delivered or the retry budget
 // is exhausted. Each attempt (including lost ones — the bytes went out)
 // costs size bytes; backoff advances the virtual clock. It returns the
-// total bytes spent and the number of retries performed.
-func deliver(f faultsim.Fabric, pol faultsim.Policy, clk *faultsim.Clock, epoch, op int, size int64) (bytes int64, retries int, err error) {
+// total bytes spent and the number of retries performed. onRetry, when
+// non-nil, is invoked after each backoff with the lost attempt's index
+// and the ticks waited — the coordinator-side hook the Region strategy
+// uses to trace retries.
+func deliver(f faultsim.Fabric, pol faultsim.Policy, clk *faultsim.Clock, epoch, op int, size int64, onRetry func(attempt int, backoff int64)) (bytes int64, retries int, err error) {
 	for attempt := 0; ; attempt++ {
 		bytes += size
 		if f == nil || !f.Drop(epoch, op, attempt) {
@@ -56,10 +60,33 @@ func deliver(f faultsim.Fabric, pol faultsim.Policy, clk *faultsim.Clock, epoch,
 		if attempt >= pol.MaxRetries {
 			return bytes, retries, fmt.Errorf("exchange: message %d dropped %d times: %w", op, attempt+1, ErrExchangeFailed)
 		}
+		b := pol.Backoff(attempt)
 		if clk != nil {
-			clk.Advance(pol.Backoff(attempt))
+			clk.Advance(b)
+		}
+		if onRetry != nil {
+			onRetry(attempt, b)
 		}
 		retries++
+	}
+}
+
+// exchangeMetrics resolves the registry handles both strategies share.
+// The zero value (nil registry) makes every operation a no-op.
+type exchangeMetrics struct {
+	bytes   *obs.Counter
+	retries *obs.Counter
+	aborts  *obs.Counter
+}
+
+func newExchangeMetrics(r *obs.Registry) exchangeMetrics {
+	if r == nil {
+		return exchangeMetrics{}
+	}
+	return exchangeMetrics{
+		bytes:   r.Counter("exchange_bytes_total", "location-exchange traffic, lost attempts included"),
+		retries: r.Counter("exchange_retries_total", "region reduces retransmitted after a drop"),
+		aborts:  r.Counter("exchange_aborts_total", "region reduces abandoned beyond the retry budget"),
 	}
 }
 
@@ -105,6 +132,10 @@ type Directory struct {
 	Policy faultsim.Policy
 	// Clock, when set, absorbs the virtual backoff ticks of retries.
 	Clock *faultsim.Clock
+	// Metrics, when set, accumulates exchange_* counters. The directory
+	// delivers from per-server goroutines, so it offers only order-free
+	// metrics, no trace stream (Region is the traced strategy).
+	Metrics *obs.Registry
 }
 
 // Name implements Strategy.
@@ -131,6 +162,7 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 		}
 	}
 	pol := d.Policy.Normalized()
+	mx := newExchangeMetrics(d.Metrics)
 	epoch := 0
 	if d.Fabric != nil {
 		epoch = d.Fabric.NextEpoch()
@@ -160,11 +192,14 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 		go func(si int, s *Server) {
 			defer wg.Done()
 			batch := int64(len(s.Updates)) * updateBytes
-			bytes, _, err := deliver(d.Fabric, pol, d.Clock, epoch, si, batch)
+			bytes, retries, err := deliver(d.Fabric, pol, d.Clock, epoch, si, batch, nil)
 			volMu.Lock()
 			volume += bytes
 			volMu.Unlock()
+			mx.bytes.Add(bytes)
+			mx.retries.Add(int64(retries))
 			if err != nil {
+				mx.aborts.Inc()
 				errMu.Lock()
 				dropErrs = append(dropErrs, fmt.Errorf("exchange: push from server %d: %w", s.ID, err))
 				errMu.Unlock()
@@ -214,11 +249,14 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 				}
 				batch += requestBytes + replyBytes
 			}
-			bytes, _, err := deliver(d.Fabric, pol, d.Clock, epoch, len(servers)+si, batch)
+			bytes, retries, err := deliver(d.Fabric, pol, d.Clock, epoch, len(servers)+si, batch, nil)
 			volMu.Lock()
 			volume += bytes
 			volMu.Unlock()
+			mx.bytes.Add(bytes)
+			mx.retries.Add(int64(retries))
 			if err != nil {
+				mx.aborts.Inc()
 				errMu.Lock()
 				dropErrs = append(dropErrs, fmt.Errorf("exchange: pull by server %d: %w", s.ID, err))
 				errMu.Unlock()
@@ -278,6 +316,12 @@ type Region struct {
 	Policy faultsim.Policy
 	// Clock, when set, absorbs the virtual backoff ticks of retries.
 	Clock *faultsim.Clock
+	// Trace, when set, receives region_sent / region_retry / region_abort
+	// events, emitted from the (serial) coordinator loop with the epoch
+	// as the Round coordinate.
+	Trace *obs.Tracer
+	// Metrics, when set, accumulates exchange_* counters.
+	Metrics *obs.Registry
 }
 
 // Name implements Strategy.
@@ -306,6 +350,7 @@ func (r Region) Propagate(servers []*Server) (int64, error) {
 		size = n
 	}
 	pol := r.Policy.Normalized()
+	mx := newExchangeMetrics(r.Metrics)
 	epoch := 0
 	if r.Fabric != nil {
 		epoch = r.Fabric.NextEpoch()
@@ -356,10 +401,29 @@ func (r Region) Propagate(servers []*Server) (int64, error) {
 		// bytes anyway and is retried after a backoff; a region dropped
 		// beyond the retry budget aborts before any server adopts it, so
 		// views stay exchange-atomic per region.
-		bytes, _, err := deliver(r.Fabric, pol, r.Clock, epoch, region, (hi-lo)*4)
+		var onRetry func(attempt int, backoff int64)
+		if r.Trace != nil {
+			reg := region
+			onRetry = func(attempt int, backoff int64) {
+				r.Trace.Emit(obs.Event{Kind: obs.KindRegionRetry, Round: int32(epoch),
+					A: int32(reg), B: int32(attempt), N: backoff})
+			}
+		}
+		bytes, retries, err := deliver(r.Fabric, pol, r.Clock, epoch, region, (hi-lo)*4, onRetry)
 		volume += bytes
+		mx.bytes.Add(bytes)
+		mx.retries.Add(int64(retries))
 		if err != nil {
+			mx.aborts.Inc()
+			if r.Trace != nil {
+				r.Trace.Emit(obs.Event{Kind: obs.KindRegionAbort, Round: int32(epoch),
+					A: int32(region), B: int32(retries + 1)})
+			}
 			return volume, fmt.Errorf("exchange: region %d reduce: %w", region, err)
+		}
+		if r.Trace != nil {
+			r.Trace.Emit(obs.Event{Kind: obs.KindRegionSent, Round: int32(epoch),
+				A: int32(region), N: bytes, M: int64(retries)})
 		}
 		// Broadcast: every server adopts the merged region.
 		var wg sync.WaitGroup

@@ -27,6 +27,8 @@ package faultsim
 import (
 	"sort"
 	"sync"
+
+	"paragon/internal/obs"
 )
 
 // Kind enumerates the injectable fault classes.
@@ -138,6 +140,11 @@ type Injector struct {
 
 	script map[scriptKey]Event
 
+	// fired holds one obs counter per fault Kind (nil without Observe);
+	// obs counters are atomic and nil-safe, so record increments them
+	// without extending the critical section.
+	fired [4]*obs.Counter
+
 	mu       sync.Mutex
 	epoch    int
 	counters Counters
@@ -215,11 +222,31 @@ func (in *Injector) scripted(kind Kind, round, index, attempt int) (Event, bool)
 	return ev, ok
 }
 
+// Observe registers this injector's fired-fault counters
+// (fault_injected_*_total) with r and increments them on every fault
+// that fires from then on. Counter totals are order-free, so concurrent
+// fault-point queries keep the registry deterministic.
+func (in *Injector) Observe(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	in.mu.Lock()
+	in.fired = [4]*obs.Counter{
+		KindCrash:     r.Counter("fault_injected_crashes_total", "group-server crash faults fired"),
+		KindStraggler: r.Counter("fault_injected_stragglers_total", "straggler-delay faults fired"),
+		KindDrop:      r.Counter("fault_injected_drops_total", "message-drop faults fired"),
+		KindAbort:     r.Counter("fault_injected_aborts_total", "migration-abort faults fired"),
+	}
+	in.mu.Unlock()
+}
+
 func (in *Injector) record(ev Event, count *int64) {
 	in.mu.Lock()
 	*count++
 	in.realized = append(in.realized, ev)
+	fired := in.fired[ev.Kind]
 	in.mu.Unlock()
+	fired.Inc()
 }
 
 // NextEpoch implements Fabric.

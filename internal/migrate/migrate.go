@@ -16,6 +16,7 @@ import (
 
 	"paragon/internal/faultsim"
 	"paragon/internal/graph"
+	"paragon/internal/obs"
 	"paragon/internal/partition"
 )
 
@@ -186,16 +187,59 @@ func validatePlan(plan *Plan, k int32) (map[int32]int, error) {
 	return index, nil
 }
 
-// ExecuteWith is Execute under a fault fabric. The migration is a
-// transaction: senders journal every departing vertex, receivers stage
-// arrivals without applying them, and only a fully-staged plan commits.
-// If the fabric aborts the migration mid-plan (or a sender finds a
-// vertex missing), every journaled departure is restored to its sender —
-// application context included, via the Restore hook — and ExecuteWith
-// returns ErrAborted (or the protocol error). Either way Verify holds
-// afterwards: against the new decomposition on commit, against the old
-// one on rollback.
+// ExecOptions extends Execute with the fault fabric and the
+// observability layer. All fields are optional.
+type ExecOptions struct {
+	// Fabric optionally injects migration-abort faults (nil = fault-free).
+	Fabric faultsim.Fabric
+	// Trace, when set, receives migration_plan / migration_commit /
+	// migration_rollback events, emitted from the coordinator after the
+	// per-rank goroutines have joined.
+	Trace *obs.Tracer
+	// Metrics, when set, accumulates migrate_* counters.
+	Metrics *obs.Registry
+}
+
+// ExecuteWith is Execute under a fault fabric; see ExecuteOpts for the
+// full option surface.
 func ExecuteWith(stores []*Store, plan *Plan, ctx AppContext, fab faultsim.Fabric) (Stats, error) {
+	return ExecuteOpts(stores, plan, ctx, ExecOptions{Fabric: fab})
+}
+
+// migrateMetrics resolves the registry handles ExecuteOpts touches; the
+// zero value (nil registry) makes every operation a no-op.
+type migrateMetrics struct {
+	moved      *obs.Counter
+	movedBytes *obs.Counter
+	rolledBack *obs.Counter
+	rollbacks  *obs.Counter
+}
+
+func newMigrateMetrics(r *obs.Registry) migrateMetrics {
+	if r == nil {
+		return migrateMetrics{}
+	}
+	return migrateMetrics{
+		moved:      r.Counter("migrate_moved_vertices_total", "vertices committed to a new rank"),
+		movedBytes: r.Counter("migrate_moved_bytes_total", "serialized payload bytes committed"),
+		rolledBack: r.Counter("migrate_rolled_back_total", "departed vertices restored to their senders"),
+		rollbacks:  r.Counter("migrate_rollbacks_total", "migrations that ended in a rollback"),
+	}
+}
+
+// ExecuteOpts is Execute under a fault fabric and the observability
+// layer. The migration is a transaction: senders journal every departing
+// vertex, receivers stage arrivals without applying them, and only a
+// fully-staged plan commits. If the fabric aborts the migration mid-plan
+// (or a sender finds a vertex missing), every journaled departure is
+// restored to its sender — application context included, via the Restore
+// hook — and ExecuteOpts returns ErrAborted (or the protocol error).
+// Either way Verify holds afterwards: against the new decomposition on
+// commit, against the old one on rollback.
+func ExecuteOpts(stores []*Store, plan *Plan, ctx AppContext, opts ExecOptions) (Stats, error) {
+	fab := opts.Fabric
+	tr := opts.Trace
+	mx := newMigrateMetrics(opts.Metrics)
 	k := int32(len(stores))
 	if plan.K != k {
 		return Stats{}, fmt.Errorf("migrate: plan for %d ranks, %d stores", plan.K, k)
@@ -203,6 +247,9 @@ func ExecuteWith(stores []*Store, plan *Plan, ctx AppContext, fab faultsim.Fabri
 	moveIndex, err := validatePlan(plan, k)
 	if err != nil {
 		return Stats{}, err
+	}
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindMigrationPlan, Round: -1, N: int64(len(plan.Moves))})
 	}
 	// The abort point is fixed up front from the schedule: the first plan
 	// index the fabric kills. Sends at or past it never happen — the
@@ -294,6 +341,15 @@ func ExecuteWith(stores []*Store, plan *Plan, ctx AppContext, fab faultsim.Fabri
 		}
 		stats.Aborted = true
 		stats.PerRankSent = make([]int64, k) // nothing moved
+		mx.rollbacks.Inc()
+		mx.rolledBack.Add(stats.RolledBack)
+		if tr != nil {
+			at := int32(-1) // protocol violation
+			if len(missingAll) == 0 {
+				at = int32(abortAt)
+			}
+			tr.Emit(obs.Event{Kind: obs.KindMigrationRollback, Round: -1, A: at, N: stats.RolledBack})
+		}
 		return stats, verdict
 	}
 
@@ -316,6 +372,11 @@ func ExecuteWith(stores []*Store, plan *Plan, ctx AppContext, fab faultsim.Fabri
 	for r := int32(0); r < k; r++ {
 		stats.MovedBytes += perRankBytes[r]
 		stats.MovedVertices += stats.PerRankSent[r]
+	}
+	mx.moved.Add(stats.MovedVertices)
+	mx.movedBytes.Add(stats.MovedBytes)
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindMigrationCommit, Round: -1, N: stats.MovedVertices, M: stats.MovedBytes})
 	}
 	return stats, nil
 }

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sinks. All three serializers are deterministic functions of their
+// inputs: field order is fixed, metric order is name-sorted, and floats
+// are formatted with strconv's shortest round-trip form — so two runs
+// that produced identical tracer/registry contents produce byte-identical
+// files. No sink ever stamps wall-clock time into its output; if a
+// caller wants a wall-clock header it belongs outside these files (a
+// sibling log line), or the cross-worker-count byte-identity the ci.sh
+// determinism check asserts would break.
+
+// WriteJSONL serializes the tracer's retained events, one JSON object
+// per line, in sequence order. Every field is always present (stable
+// schema, trivially diffable); X is formatted with the shortest
+// round-trip representation.
+func WriteJSONL(w io.Writer, t *Tracer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, e := range t.Events() {
+		fmt.Fprintf(bw, `{"seq":%d,"tick":%d,"kind":%q,"round":%d,"a":%d,"b":%d,"n":%d,"m":%d,"x":%s}`,
+			e.Seq, e.Tick, e.Kind.String(), e.Round, e.A, e.B, e.N, e.M, formatFloat(e.X))
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// WriteProm serializes the registry in the Prometheus text exposition
+// format (HELP/TYPE comments, cumulative histogram buckets), metrics in
+// name-sorted order.
+func WriteProm(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.names() {
+		m := r.byName[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, m.metricHelp())
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, m.metricType())
+		switch v := m.(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "%s %d\n", name, v.Value())
+		case *Gauge:
+			fmt.Fprintf(bw, "%s %s\n", name, formatFloat(v.Value()))
+		case *Histogram:
+			var cum int64
+			for i, b := range v.bounds {
+				cum += v.buckets[i].Load()
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, b, cum)
+			}
+			cum += v.buckets[len(v.bounds)].Load()
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(bw, "%s_sum %d\n", name, v.Sum())
+			fmt.Fprintf(bw, "%s_count %d\n", name, v.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// phaseOrder fixes the row-group order of the summary table; phases not
+// listed here sort alphabetically after the known ones.
+var phaseOrder = map[string]int{
+	"refine":   0,
+	"ship":     1,
+	"exchange": 2,
+	"migrate":  3,
+	"fault":    4,
+}
+
+// WriteSummary renders the registry as a human per-phase table: metrics
+// are grouped by their name's leading phase segment (refine_, ship_,
+// exchange_, migrate_, fault_), counters and gauges print their value,
+// histograms print count, sum, and mean. Like the other sinks it is
+// deterministic, though it is meant for eyes, not for diffing.
+func WriteSummary(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := r.names()
+	type row struct {
+		phase, metric, value string
+	}
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		m := r.byName[name]
+		phase := name
+		rest := name
+		if i := strings.IndexByte(name, '_'); i > 0 {
+			phase, rest = name[:i], name[i+1:]
+		}
+		var val string
+		switch v := m.(type) {
+		case *Counter:
+			val = strconv.FormatInt(v.Value(), 10)
+		case *Gauge:
+			val = formatFloat(v.Value())
+		case *Histogram:
+			n, s := v.Count(), v.Sum()
+			mean := "-"
+			if n > 0 {
+				mean = formatFloat(float64(s) / float64(n))
+			}
+			val = fmt.Sprintf("n=%d sum=%d mean=%s", n, s, mean)
+		}
+		rows = append(rows, row{phase: phase, metric: rest, value: val})
+	}
+	r.mu.Unlock()
+	sort.SliceStable(rows, func(i, j int) bool {
+		pi, iKnown := phaseOrder[rows[i].phase]
+		pj, jKnown := phaseOrder[rows[j].phase]
+		switch {
+		case iKnown && jKnown && pi != pj:
+			return pi < pj
+		case iKnown != jKnown:
+			return iKnown
+		case rows[i].phase != rows[j].phase:
+			return rows[i].phase < rows[j].phase
+		}
+		return rows[i].metric < rows[j].metric
+	})
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-10s %-32s %s\n", "phase", "metric", "value")
+	prev := ""
+	for _, rw := range rows {
+		label := rw.phase
+		if label == prev {
+			label = ""
+		} else if prev != "" {
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, "%-10s %-32s %s\n", label, rw.metric, rw.value)
+		prev = rw.phase
+	}
+	return bw.Flush()
+}
+
+// formatFloat is the one float formatter of the sinks: shortest
+// round-trip form, so identical float64 values serialize identically.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

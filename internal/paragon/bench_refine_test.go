@@ -9,6 +9,7 @@ import (
 	"paragon/internal/faultsim"
 	"paragon/internal/gen"
 	"paragon/internal/graph"
+	"paragon/internal/obs"
 	"paragon/internal/stream"
 )
 
@@ -34,7 +35,7 @@ func benchGraph100k() *graph.Graph {
 // (grouping, shipping accounting, parallel group refinement, exchange)
 // at the paper's drp=8 on 100k vertices.
 func BenchmarkParagonRound(b *testing.B) {
-	benchParagonRound(b, false)
+	benchParagonRound(b, false, false)
 }
 
 // BenchmarkParagonRoundFault is the guard on the fault layer's
@@ -43,10 +44,19 @@ func BenchmarkParagonRound(b *testing.B) {
 // and none fires. scripts/bench.sh records the pair to BENCH_fault.json;
 // the overhead target is < 5%.
 func BenchmarkParagonRoundFault(b *testing.B) {
-	benchParagonRound(b, true)
+	benchParagonRound(b, true, false)
 }
 
-func benchParagonRound(b *testing.B, faultLayer bool) {
+// BenchmarkParagonRoundObs is the same guard on the observability layer:
+// the identical round with a tracer and a metrics registry installed, so
+// every emission site pays its full cost. scripts/bench.sh records the
+// pair to BENCH_obs.json; with both nil (BenchmarkParagonRound) the
+// layer must cost nothing but nil checks.
+func BenchmarkParagonRoundObs(b *testing.B) {
+	benchParagonRound(b, false, true)
+}
+
+func benchParagonRound(b *testing.B, faultLayer, observed bool) {
 	for _, k := range []int32{32, 128} {
 		b.Run(map[int32]string{32: "k=32", 128: "k=128"}[k], func(b *testing.B) {
 			g := benchGraph100k()
@@ -54,6 +64,10 @@ func benchParagonRound(b *testing.B, faultLayer bool) {
 			cfg := Config{DRP: 8, Shuffles: 0, Seed: 1}
 			if faultLayer {
 				cfg.Fabric = faultsim.NewInjector(faultsim.Config{Seed: 1}) // rate 0: never fires
+			}
+			if observed {
+				cfg.Trace = obs.NewTracer(0)
+				cfg.Metrics = obs.NewRegistry()
 			}
 			b.ReportAllocs()
 			b.ResetTimer()

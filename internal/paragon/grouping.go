@@ -6,8 +6,11 @@ import (
 
 // selectMaster implements Eq. 11: pick the server m minimizing the total
 // cost of exchanging auxiliary data with every other server,
-// min_m Σ_{i≠m} c(Pi, Pm). Every server computes this locally without
-// synchronization, so determinism matters: ties break to the lowest id.
+// min_m Σ_{i≠m} (c(Pi, Pm) + c(Pm, Pi)) — the exchange is bidirectional
+// (servers push updates to the master and pull the merged view back), so
+// both directions of an asymmetric cost matrix count. Every server
+// computes this locally without synchronization, so determinism matters:
+// ties break to the lowest id.
 func selectMaster(k int32, c [][]float64) int32 {
 	best := int32(0)
 	bestCost := masterCost(0, k, c)
@@ -23,7 +26,7 @@ func masterCost(m, k int32, c [][]float64) float64 {
 	var total float64
 	for i := int32(0); i < k; i++ {
 		if i != m {
-			total += c[i][m]
+			total += c[i][m] + c[m][i]
 		}
 	}
 	return total
@@ -56,9 +59,17 @@ func randomGrouping(k int32, drp int, rng *rand.Rand) [][]int32 {
 // is the number of group servers already placed on s's compute node —
 // the penalty that avoids concentrating group servers (and their memory
 // footprint) on one node. nodeOf may be nil (each server its own node).
+//
+// Ties break deterministically toward the lowest-id member of the group:
+// a group whose candidate costs are all equal (e.g. every member has
+// zero incident edges early in a refinement) should host itself rather
+// than ship to an arbitrary foreign server — server 0 was the old
+// accidental winner, paying needless boundary shipping for every group
+// that didn't contain it.
 func SelectGroupServers(groups [][]int32, ps []int64, c [][]float64, nodeOf []int, drp int) []int32 {
 	k := len(ps)
 	servers := make([]int32, len(groups))
+	member := make([]bool, k)
 	nodeServerCount := map[int]int{}
 	node := func(s int) int {
 		if nodeOf != nil {
@@ -67,8 +78,12 @@ func SelectGroupServers(groups [][]int32, ps []int64, c [][]float64, nodeOf []in
 		return s
 	}
 	for gi, grp := range groups {
+		for _, pi := range grp {
+			member[pi] = true
+		}
 		best := int32(-1)
 		bestCost := 0.0
+		bestIn := false
 		for s := 0; s < k; s++ {
 			sigma := float64(nodeServerCount[node(s)])
 			penalty := 1 + sigma/float64(drp)
@@ -76,12 +91,18 @@ func SelectGroupServers(groups [][]int32, ps []int64, c [][]float64, nodeOf []in
 			for _, pi := range grp {
 				cost += float64(ps[pi]) * c[pi][s] * penalty
 			}
-			if best < 0 || cost < bestCost {
-				best, bestCost = int32(s), cost
+			// Strict improvement wins; an exact tie only displaces the
+			// incumbent when it upgrades an out-of-group server to an
+			// in-group one. Ascending s makes both rules favor low ids.
+			if best < 0 || cost < bestCost || (cost == bestCost && member[s] && !bestIn) {
+				best, bestCost, bestIn = int32(s), cost, member[s]
 			}
 		}
 		servers[gi] = best
 		nodeServerCount[node(int(best))]++
+		for _, pi := range grp {
+			member[pi] = false
+		}
 	}
 	return servers
 }

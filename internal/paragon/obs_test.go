@@ -1,0 +1,149 @@
+package paragon
+
+import (
+	"bytes"
+	"testing"
+
+	"paragon/internal/gen"
+	"paragon/internal/obs"
+	"paragon/internal/stream"
+)
+
+// TestObsDeterminismAcrossWorkers pins the observability half of the
+// determinism contract (DESIGN.md §10, §13): for a fixed (Seed,
+// FaultSeed, FaultRate), the serialized trace and metrics must be
+// byte-identical at every Workers value — worker count may change wall
+// clock and memory placement, never what the run observes about itself.
+// Fault injection is on so the fault/retry/backoff event paths are
+// exercised, not just the happy path.
+func TestObsDeterminismAcrossWorkers(t *testing.T) {
+	g := gen.RMAT(3000, 18000, 0.57, 0.19, 0.19, 11)
+	g.UseDegreeWeights()
+
+	run := func(workers int) (string, string, Stats) {
+		p := stream.DG(g, 24, stream.DefaultOptions())
+		tr := obs.NewTracer(0)
+		reg := obs.NewRegistry()
+		st, err := RefineUniform(g, p, Config{
+			DRP: 4, Shuffles: 4, Seed: 9, Workers: workers,
+			FaultRate: 0.05, FaultSeed: 3,
+			Trace: tr, Metrics: reg,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var trace, prom bytes.Buffer
+		if err := obs.WriteJSONL(&trace, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteProm(&prom, reg); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			t.Fatalf("workers=%d: empty trace", workers)
+		}
+		return trace.String(), prom.String(), st
+	}
+
+	refTrace, refProm, refStats := run(1)
+	for _, w := range []int{2, 8} {
+		gotTrace, gotProm, gotStats := run(w)
+		if gotTrace != refTrace {
+			t.Errorf("workers=%d: trace differs from workers=1 (%d vs %d bytes)", w, len(gotTrace), len(refTrace))
+		}
+		if gotProm != refProm {
+			t.Errorf("workers=%d: metrics exposition differs from workers=1:\n%s\nvs\n%s", w, gotProm, refProm)
+		}
+		if gotStats.Moves != refStats.Moves || gotStats.Gain != refStats.Gain {
+			t.Errorf("workers=%d: stats drifted (moves %d vs %d)", w, gotStats.Moves, refStats.Moves)
+		}
+	}
+}
+
+// TestObsMetricsAgreeWithStats cross-checks the registry against the
+// Stats the same run returned: the two accounting paths must agree.
+func TestObsMetricsAgreeWithStats(t *testing.T) {
+	g := gen.RMAT(2000, 12000, 0.57, 0.19, 0.19, 5)
+	g.UseDegreeWeights()
+	p := stream.DG(g, 16, stream.DefaultOptions())
+	reg := obs.NewRegistry()
+	st, err := RefineUniform(g, p, Config{DRP: 4, Shuffles: 3, Seed: 2, FaultRate: 0.05, FaultSeed: 7, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"refine_rounds_total", int64(st.Rounds)},
+		{"refine_pairs_total", int64(st.PairsRefined)},
+		{"refine_moves_total", int64(st.Moves)},
+		{"ship_boundary_vertices_total", st.BoundaryShipped},
+		{"ship_half_edges_total", st.ShippedEdgeVolume},
+		{"exchange_bytes_total", st.LocationExchangeBytes},
+		{"exchange_retries_total", int64(st.Faults.ExchangeRetries)},
+		{"exchange_aborts_total", int64(st.Faults.ExchangeAborts)},
+		{"fault_crashed_groups_total", int64(st.Faults.CrashedGroups)},
+		{"fault_straggler_drops_total", int64(st.Faults.StragglerDrops)},
+		{"fault_backoff_ticks_total", st.Faults.BackoffTicks},
+		{"migrate_vertices_total", st.MigratedVertices},
+	}
+	for _, ck := range checks {
+		if got := reg.Counter(ck.name, "").Value(); got != ck.want {
+			t.Errorf("%s = %d, Stats says %d", ck.name, got, ck.want)
+		}
+	}
+	if got := reg.Gauge("refine_gain", "").Value(); got != st.Gain {
+		t.Errorf("refine_gain = %v, Stats says %v", got, st.Gain)
+	}
+	if got := reg.Gauge("migrate_cost", "").Value(); got != st.MigrationCost {
+		t.Errorf("migrate_cost = %v, Stats says %v", got, st.MigrationCost)
+	}
+	if got := reg.Gauge("fault_virtual_ticks", "").Value(); got != float64(st.Faults.VirtualTicks) {
+		t.Errorf("fault_virtual_ticks = %v, Stats says %d", got, st.Faults.VirtualTicks)
+	}
+}
+
+// TestObsTraceAccountsEveryRound asserts the stream's structural
+// invariants: one round_start/round_end per committed round, wave events
+// properly bracketed, and the pair_refined moves of a round summing to
+// the round_end total.
+func TestObsTraceAccountsEveryRound(t *testing.T) {
+	g := gen.RMAT(2000, 12000, 0.57, 0.19, 0.19, 5)
+	g.UseDegreeWeights()
+	p := stream.DG(g, 16, stream.DefaultOptions())
+	tr := obs.NewTracer(0)
+	st, err := RefineUniform(g, p, Config{DRP: 4, Shuffles: 3, Seed: 2, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := tr.Events()
+	if ev[0].Kind != obs.KindRefineStart || ev[len(ev)-1].Kind != obs.KindRefineEnd {
+		t.Fatalf("stream not bracketed by refine_start/refine_end: %v ... %v", ev[0].Kind, ev[len(ev)-1].Kind)
+	}
+	starts, ends := 0, 0
+	pairMoves := map[int32]int64{}
+	roundEnd := map[int32]int64{}
+	for _, e := range ev {
+		switch e.Kind {
+		case obs.KindRoundStart:
+			starts++
+		case obs.KindRoundEnd:
+			ends++
+			roundEnd[e.Round] = e.N
+		case obs.KindPairRefined:
+			pairMoves[e.Round] += e.N
+		}
+	}
+	if starts != st.Rounds || ends != st.Rounds {
+		t.Fatalf("round_start=%d round_end=%d, Stats.Rounds=%d", starts, ends, st.Rounds)
+	}
+	for round, want := range roundEnd {
+		if pairMoves[round] != want {
+			t.Errorf("round %d: pair_refined moves sum to %d, round_end says %d", round, pairMoves[round], want)
+		}
+	}
+	if int(tr.Events()[len(ev)-1].N) != st.Moves {
+		t.Errorf("refine_end N = %d, Stats.Moves = %d", ev[len(ev)-1].N, st.Moves)
+	}
+}

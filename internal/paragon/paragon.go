@@ -28,6 +28,7 @@ import (
 	"paragon/internal/aragon"
 	"paragon/internal/faultsim"
 	"paragon/internal/graph"
+	"paragon/internal/obs"
 	"paragon/internal/partition"
 )
 
@@ -86,6 +87,18 @@ type Config struct {
 	// injector when measuring instrumentation overhead. With a nil
 	// Fabric and FaultRate 0 the fault layer is a true no-op.
 	Fabric faultsim.Fabric
+	// Trace, when non-nil, receives the structured refinement event
+	// stream (round/wave/pair/fault/exchange events, DESIGN.md §13).
+	// Events are stamped with the virtual tick clock and a monotonic
+	// sequence number; the stream is bit-identical for every Workers
+	// value. Nil disables tracing at zero cost.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, is populated with the per-phase counters,
+	// gauges, and fixed-bucket histograms of the refinement (refine_*,
+	// ship_*, exchange_*, fault_*, migrate_*). Like the trace, the final
+	// registry contents are identical for every Workers value. Nil
+	// disables the metrics layer at zero cost.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's evaluation defaults: drp = 8, eight
@@ -229,8 +242,22 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 	if fab == nil && cfg.FaultRate > 0 {
 		fab = faultsim.NewInjector(faultsim.Config{Seed: cfg.FaultSeed, Rate: cfg.FaultRate})
 	}
+	if in, ok := fab.(*faultsim.Injector); ok && cfg.Metrics != nil {
+		in.Observe(cfg.Metrics)
+	}
 	pol := faultsim.DefaultPolicy()
 	clk := faultsim.NewClock()
+
+	// Observability (DESIGN.md §13): nil tracer/registry cost only these
+	// checks. Events below are emitted from this coordinator goroutine;
+	// the per-pair worker events are staged in per-worker bufs and
+	// committed in task order at each wave barrier (schedule.go).
+	tr := cfg.Trace
+	mx := newRefineMetrics(cfg.Metrics)
+	if tr != nil {
+		tr.SetClock(clk.Now)
+		tr.Emit(obs.Event{Kind: obs.KindRefineStart, Round: -1, A: st.Master, B: int32(cfg.DRP), N: int64(k)})
+	}
 
 	groups := randomGrouping(k, cfg.DRP, rng)
 	// One incrementally maintained index serves every round: the commit
@@ -247,6 +274,9 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 	serverOf := make([]int32, k) // partition -> its group's server this round
 	st.Rounds = 1 + cfg.Shuffles
 	for round := 0; round < st.Rounds; round++ {
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindRoundStart, Round: int32(round), N: int64(len(groups))})
+		}
 		// Group-server selection (Eq. 10) from the maintained
 		// incident-edge sums — no rescan.
 		ps := ix.IncidentEdges()
@@ -269,6 +299,11 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 		shipped, edges := sc.shipAccounting(serverOf)
 		st.BoundaryShipped += shipped
 		st.ShippedEdgeVolume += edges
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindShipAccounted, Round: int32(round), N: shipped, M: edges})
+		}
+		mx.shipVerts.Add(shipped)
+		mx.shipEdges.Add(edges)
 
 		// Fault fates are resolved up front: the injector's decisions are
 		// pure hashes of (seed, round, group), so a crashed or dropped
@@ -287,6 +322,10 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 					st.Faults.CrashedGroups++
 					st.Faults.DegradedGroups++
 					degraded = true
+					if tr != nil {
+						tr.Emit(obs.Event{Kind: obs.KindGroupCrashed, Round: int32(round), A: int32(gi)})
+					}
+					mx.crashedGroups.Inc()
 					continue
 				}
 				dur := 1 + fab.GroupDelay(round, gi)
@@ -296,6 +335,10 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 					st.Faults.StragglerDrops++
 					st.Faults.DegradedGroups++
 					degraded = true
+					if tr != nil {
+						tr.Emit(obs.Event{Kind: obs.KindGroupStraggler, Round: int32(round), A: int32(gi), N: dur})
+					}
+					mx.stragglerDrops.Inc()
 					continue
 				}
 				if dur > roundTicks {
@@ -313,7 +356,7 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 		// of disjoint pairs, frozen-view reads for foreign vertices,
 		// kept moves recorded per task.
 		sc.buildSchedule(groups)
-		sc.runRound(loads)
+		sc.runRound(int32(round), loads)
 
 		// Commit phase, in task order: groups own disjoint partitions
 		// and each wave's pairs are disjoint, so replaying the kept
@@ -321,12 +364,15 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 		// in task order (fixed-order float summation). Moves flow
 		// through the index to keep it consistent for the next round.
 		var roundGain float64
+		roundMoves := 0
 		for ti := range sc.tasks {
 			res := sc.results[ti]
 			st.PairsRefined++
 			st.Moves += res.Moves
 			st.Gain += res.Gain
 			roundGain += res.Gain
+			roundMoves += res.Moves
+			mx.pairMoves.Observe(int64(res.Moves))
 			for _, mv := range sc.taskMoves(int32(ti)) {
 				from := p.Assign[mv.V]
 				ix.Move(mv.V, mv.To)
@@ -338,6 +384,12 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 		clk.Advance(roundTicks)
 
 		st.RoundGains = append(st.RoundGains, roundGain)
+		mx.rounds.Inc()
+		mx.pairs.Add(int64(len(sc.tasks)))
+		mx.moves.Add(int64(roundMoves))
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindRoundEnd, Round: int32(round), N: int64(roundMoves), X: roundGain})
+		}
 
 		if round+1 < st.Rounds {
 			// The chunked location exchange of §5: every group server
@@ -357,18 +409,34 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 				}
 				for attempt := 0; ; attempt++ {
 					st.LocationExchangeBytes += (hi - lo) * 4 // spent even when dropped
+					mx.exchangeBytes.Add((hi - lo) * 4)
 					if fab == nil || !fab.Drop(round, region, attempt) {
+						if tr != nil {
+							tr.Emit(obs.Event{Kind: obs.KindRegionSent, Round: int32(round),
+								A: int32(region), N: (hi - lo) * 4 * int64(attempt+1), M: int64(attempt)})
+						}
 						break
 					}
 					if attempt >= pol.MaxRetries {
 						st.Faults.ExchangeAborts++
+						mx.exchangeAborts.Inc()
+						if tr != nil {
+							tr.Emit(obs.Event{Kind: obs.KindRegionAbort, Round: int32(round),
+								A: int32(region), B: int32(attempt + 1)})
+						}
 						exchangeOK = false
 						break
 					}
 					st.Faults.ExchangeRetries++
+					mx.exchangeRetries.Inc()
 					b := pol.Backoff(attempt)
 					st.Faults.BackoffTicks += b
+					mx.backoffTicks.Add(b)
 					clk.Advance(b)
+					if tr != nil {
+						tr.Emit(obs.Event{Kind: obs.KindRegionRetry, Round: int32(round),
+							A: int32(region), B: int32(attempt), N: b})
+					}
 				}
 			}
 			if !exchangeOK {
@@ -379,10 +447,18 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 		}
 	}
 	st.Faults.VirtualTicks = clk.Now()
+	mx.virtualTicks.Set(float64(st.Faults.VirtualTicks))
 
 	// Final bookkeeping: physical data migration plan vs. the input,
 	// sharded with the float partials reduced in shard order.
 	st.MigratedVertices, st.MigrationCost = sc.migrationSweep()
+	mx.migratedVerts.Add(st.MigratedVertices)
+	mx.migrationCost.Set(st.MigrationCost)
+	mx.gain.Set(st.Gain)
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindMigrationSweep, Round: -1, N: st.MigratedVertices, X: st.MigrationCost})
+		tr.Emit(obs.Event{Kind: obs.KindRefineEnd, Round: -1, N: int64(st.Moves), X: st.Gain})
+	}
 	//lint:ignore wallclock Stats.RefinementTime bookkeeping at the driver boundary
 	st.RefinementTime = time.Since(start)
 	return st, nil

@@ -30,6 +30,7 @@ package paragon
 import (
 	"paragon/internal/aragon"
 	"paragon/internal/graph"
+	"paragon/internal/obs"
 	"paragon/internal/partition"
 )
 
@@ -46,12 +47,15 @@ type pairTask struct {
 	pi, pj int32
 }
 
-// taskSpan locates a task's kept moves inside its worker's arena. Arenas
-// grow by append, so the span stores indices, not slices.
+// taskSpan locates a task's kept moves inside its worker's arena, and —
+// when tracing — its staged trace events inside the worker's event buf.
+// Arenas and bufs grow by append, so the span stores indices, not slices.
 type taskSpan struct {
 	worker int32
 	mstart int32
 	mend   int32
+	estart int32
+	eend   int32
 }
 
 // span is the work order sent to every worker: a task kind plus, for
@@ -92,6 +96,16 @@ type scheduler struct {
 	refiners []*aragon.Refiner
 	arenas   [][]aragon.Move
 
+	// Observability: workers stage KindPairRefined events in their ebuf
+	// (never touching the tracer directly); the coordinator commits each
+	// task's staged span at the wave barrier, in task order — the same
+	// discipline as the move arenas, and the reason the trace is
+	// bit-identical across worker counts.
+	trace *obs.Tracer
+	mx    refineMetrics
+	round int32
+	ebufs []obs.Buf
+
 	tasks   []pairTask
 	waves   []int32 // wave t = tasks[waves[t]:waves[t+1]]
 	spans   []taskSpan
@@ -131,6 +145,10 @@ func newScheduler(g *graph.Graph, pm *partition.Partitioning, ix *partition.Inde
 
 		refiners: make([]*aragon.Refiner, w),
 		arenas:   make([][]aragon.Move, w),
+
+		trace: cfg.Trace,
+		mx:    newRefineMetrics(cfg.Metrics),
+		ebufs: make([]obs.Buf, w),
 
 		roundLoads: make([]int64, pm.K),
 		mask:       make([]bool, n),
@@ -264,33 +282,56 @@ func (sc *scheduler) appendWavePairs(group []int32, t int) {
 // master: wave by wave, with the coordinator syncing the frozen view in
 // task order at every barrier. Kept moves land in per-worker arenas;
 // the commit loop in Refine replays them into the master in task order.
-func (sc *scheduler) runRound(loads []int64) {
+// Staged trace events are committed at the same barrier, also in task
+// order.
+func (sc *scheduler) runRound(round int32, loads []int64) {
 	copy(sc.cur.Assign, sc.pm.Assign)
 	copy(sc.frozen, sc.pm.Assign)
 	sc.shadow.Reset(sc.ix)
 	copy(sc.roundLoads, loads)
+	sc.round = round
 	for w := range sc.arenas {
 		sc.arenas[w] = sc.arenas[w][:0]
+		sc.ebufs[w].Reset()
 	}
 	for t := 0; t+1 < len(sc.waves); t++ {
 		lo, hi := sc.waves[t], sc.waves[t+1]
 		if lo == hi {
 			continue
 		}
+		if sc.trace != nil {
+			sc.trace.Emit(obs.Event{Kind: obs.KindWaveScheduled, Round: round,
+				A: int32(t), N: int64(hi - lo)})
+		}
 		sc.dispatch(span{kind: kindPairs, lo: lo, hi: hi})
 		// Wave barrier: publish this wave's kept moves into the frozen
 		// view, in task order. Each vertex is moved by at most one pair
 		// per wave (disjoint partitions), so this is a plain replay.
+		waveMoves := 0
 		for ti := lo; ti < hi; ti++ {
 			for _, mv := range sc.taskMoves(ti) {
 				sc.frozen[mv.V] = mv.To
 			}
+			waveMoves += sc.results[ti].Moves
+			if sc.trace != nil {
+				sp := sc.spans[ti]
+				sc.trace.CommitStaged(&sc.ebufs[sp.worker], int(sp.estart), int(sp.eend))
+			}
+		}
+		sc.mx.waves.Inc()
+		sc.mx.wavePairs.Observe(int64(hi - lo))
+		if sc.trace != nil {
+			sc.trace.Emit(obs.Event{Kind: obs.KindWaveCommitted, Round: round,
+				A: int32(t), N: int64(waveMoves)})
 		}
 	}
 }
 
 // runPairs refines this worker's share (static modulo assignment) of
-// one wave's tasks.
+// one wave's tasks. When tracing, each task's KindPairRefined event is
+// staged in this worker's ebuf — the coordinator commits it at the
+// barrier — so workers never contend on the tracer and the stream stays
+// independent of Workers.
 func (sc *scheduler) runPairs(w int, lo, hi int32) {
 	r := sc.refiners[w]
 	for ti := lo; ti < hi; ti++ {
@@ -302,7 +343,13 @@ func (sc *scheduler) runPairs(w int, lo, hi int32) {
 		var res aragon.Result
 		sc.arenas[w], res = r.RefinePairScheduled(sc.arenas[w], sc.orig, t.pi, t.pj, sc.c, sc.roundLoads, sc.maxLoad, sc.mask)
 		sc.results[ti] = res
-		sc.spans[ti] = taskSpan{worker: int32(w), mstart: mstart, mend: int32(len(sc.arenas[w]))}
+		estart := sc.ebufs[w].Mark()
+		if sc.trace != nil {
+			sc.ebufs[w].Emit(obs.Event{Kind: obs.KindPairRefined, Round: sc.round,
+				A: t.pi, B: t.pj, N: int64(res.Moves), X: res.Gain})
+		}
+		sc.spans[ti] = taskSpan{worker: int32(w), mstart: mstart, mend: int32(len(sc.arenas[w])),
+			estart: int32(estart), eend: int32(sc.ebufs[w].Mark())}
 	}
 }
 

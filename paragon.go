@@ -31,6 +31,7 @@ import (
 	"paragon/internal/graph"
 	"paragon/internal/metis"
 	"paragon/internal/migrate"
+	"paragon/internal/obs"
 	"paragon/internal/paragon"
 	"paragon/internal/parmetis"
 	"paragon/internal/partition"
@@ -204,6 +205,38 @@ func RefineSerial(g *Graph, p *Partitioning, c [][]float64, alpha, maxImbalance 
 	_, err := aragon.Refine(g, p, c, aragon.Config{Alpha: alpha, MaxImbalance: maxImbalance})
 	return err
 }
+
+// ---- Observability ----
+
+// Tracer is the deterministic structured-event tracer: install one via
+// Config.Trace to receive the refinement's round/wave/pair/fault/
+// exchange event stream, stamped with virtual ticks and sequence
+// numbers — bit-identical for every Config.Workers value.
+type Tracer = obs.Tracer
+
+// TraceEvent is one trace record.
+type TraceEvent = obs.Event
+
+// MetricsRegistry collects the per-phase counters, gauges, and
+// histograms of a refinement; install one via Config.Metrics.
+type MetricsRegistry = obs.Registry
+
+// NewTracer returns a tracer with a ring of capacity events (<= 0 picks
+// the default, 65536).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WriteTrace serializes a tracer's retained events as JSONL.
+func WriteTrace(w io.Writer, t *Tracer) error { return obs.WriteJSONL(w, t) }
+
+// WriteMetrics serializes a registry in the Prometheus text exposition
+// format.
+func WriteMetrics(w io.Writer, r *MetricsRegistry) error { return obs.WriteProm(w, r) }
+
+// WriteMetricsSummary renders a registry as a human per-phase table.
+func WriteMetricsSummary(w io.Writer, r *MetricsRegistry) error { return obs.WriteSummary(w, r) }
 
 // ---- Fault injection ----
 

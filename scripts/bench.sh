@@ -6,30 +6,42 @@
 # A second pass pairs BenchmarkParagonRound with its fault-layer twin
 # (BenchmarkParagonRoundFault: injector installed, zero-fault schedule)
 # and emits BENCH_fault.json with the instrumentation overhead per
-# config; the budget for the fault layer is < 5%.
+# config; the budget for the fault layer is < 5%. A third pass does the
+# same for the observability layer (BenchmarkParagonRoundObs: tracer and
+# metrics registry installed) and emits BENCH_obs.json — the base side
+# of that pair is the overhead-when-disabled guard: nil tracer/registry
+# must cost nothing but nil checks.
 #
-# Usage: scripts/bench.sh [output.json] [fault-output.json]
+# Usage: scripts/bench.sh [output.json] [fault-output.json] [obs-output.json]
 #   BENCHTIME=10x scripts/bench.sh   # more iterations for stable numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_refine.json}"
 faultout="${2:-BENCH_fault.json}"
+obsout="${3:-BENCH_obs.json}"
 benchtime="${BENCHTIME:-5x}"
 count="${BENCHCOUNT:-3}"
 
 tmp="$(mktemp)"
 faulttmp="$(mktemp)"
-trap 'rm -f "$tmp" "$faulttmp"' EXIT
+obstmp="$(mktemp)"
+trap 'rm -f "$tmp" "$faulttmp" "$obstmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkRefinePairHot' -benchmem -benchtime "$benchtime" ./internal/aragon/ | tee -a "$tmp"
-# The overhead pair runs each side in its own process: heap growth and
+# The overhead pairs run each side in its own process: heap growth and
 # drift inside a long-lived benchmark process systematically penalize
-# whichever benchmark runs second, swamping the ~1% signal. A fresh
-# process per side plus min-of-count repetitions (the emitters keep the
-# minimum) makes the comparison honest.
-go test -run '^$' -bench 'BenchmarkParagonRound$' -count "$count" -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee -a "$faulttmp"
-go test -run '^$' -bench 'BenchmarkParagonRoundFault$' -count "$count" -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee -a "$faulttmp"
+# whichever benchmark runs second, swamping the ~1% signal. The count
+# repetitions are interleaved (base, fault, obs, base, fault, obs, ...)
+# rather than blocked per side, so slow machine-load drift across the
+# minutes of the run biases all sides equally instead of whichever block
+# happens to run last; the emitters keep the per-benchmark minimum.
+for _ in $(seq "$count"); do
+    go test -run '^$' -bench 'BenchmarkParagonRound$' -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee -a "$faulttmp"
+    go test -run '^$' -bench 'BenchmarkParagonRoundFault$' -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee -a "$faulttmp"
+    go test -run '^$' -bench 'BenchmarkParagonRoundObs$' -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee -a "$obstmp"
+done
+grep '^BenchmarkParagonRound/' "$faulttmp" >> "$obstmp"
 grep '^BenchmarkParagonRound/' "$faulttmp" >> "$tmp"
 
 # Benchmark lines look like:
@@ -96,4 +108,37 @@ END {
 }
 ' "$faulttmp"
 
-echo "bench: wrote $out and $faultout"
+# Observability overhead: pair BenchmarkParagonRound/<cfg> (nil tracer
+# and registry — the disabled path) with BenchmarkParagonRoundObs/<cfg>
+# (both installed). The base numbers double as the overhead-when-disabled
+# record next to BENCH_refine.json: they must stay within noise of the
+# pre-obs BenchmarkParagonRound.
+awk -v out="$obsout" -v benchtime="$benchtime" -v count="$count" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in ns) || $3 + 0 < ns[name] + 0) { ns[name] = $3; allocs[name] = $7 }
+    split(name, parts, "/")
+    cfg = parts[2]
+    if (!(cfg in seen)) { seen[cfg] = 1; order[n++] = cfg }
+}
+END {
+    if (n == 0) { print "bench.sh: no obs benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf("{\n")                                               > out
+    printf("  \"benchtime\": \"%s\",\n", benchtime)             > out
+    printf("  \"graph\": \"RMAT n=100000 m=800000 seed=42, degree weights\",\n") > out
+    printf("  \"note\": \"obs = tracer + metrics registry installed: every emission site pays full cost. base = both nil, the overhead-when-disabled guard next to BENCH_refine.json. min ns/op over %s runs of %s, one process per side\",\n", count, benchtime) > out
+    printf("  \"rounds\": {\n")                                 > out
+    for (i = 0; i < n; i++) {
+        cfg = order[i]
+        base = "BenchmarkParagonRound/" cfg
+        obs = "BenchmarkParagonRoundObs/" cfg
+        pct = (ns[base] > 0) ? 100 * (ns[obs] - ns[base]) / ns[base] : 0
+        printf("    \"%s\": { \"base_ns_op\": %s, \"obs_ns_op\": %s, \"overhead_pct\": %.2f, \"base_allocs_op\": %s, \"obs_allocs_op\": %s }%s\n",
+               cfg, ns[base], ns[obs], pct, allocs[base], allocs[obs], (i < n - 1) ? "," : "") > out
+    }
+    printf("  }\n}\n")                                          > out
+}
+' "$obstmp"
+
+echo "bench: wrote $out, $faultout, and $obsout"

@@ -22,6 +22,27 @@ go test -race -shuffle=on ./...
 # every worker count; -cpu also changes the Config.Workers default).
 go test -race -cpu=1,4 ./internal/paragon/
 
+# Observability layer under the race detector: the tracer's staged-commit
+# path and the registry's atomic accumulators share state across the
+# worker pool by design (DESIGN.md §13).
+go test -race ./internal/obs/
+
+# Obs determinism end to end: the same seeded faulty run at -workers 1
+# and 8 must serialize byte-identical trace and metrics files — the
+# observability half of the determinism contract, checked through the
+# real CLI, not just the unit test.
+obsdir="$(mktemp -d)"
+trap 'rm -rf "$obsdir"' EXIT
+go build -o "$obsdir/paragon" ./cmd/paragon
+go run ./cmd/gengraph -rmat -n 5000 -m 30000 -seed 13 -o "$obsdir/g.metis" > /dev/null
+for w in 1 8; do
+    "$obsdir/paragon" -in "$obsdir/g.metis" -k 24 -workers "$w" -seed 9 \
+        -fault-rate 0.05 -fault-seed 3 \
+        -trace "$obsdir/t$w.jsonl" -metrics "$obsdir/m$w.prom" > /dev/null
+done
+cmp "$obsdir/t1.jsonl" "$obsdir/t8.jsonl"
+cmp "$obsdir/m1.prom" "$obsdir/m8.prom"
+
 # Bench bitrot smoke: compile and run every benchmark once so benchmark
 # code can't silently rot between perf-measurement sessions.
 go test -bench=. -benchtime=1x -run='^$' ./... > /dev/null
