@@ -25,8 +25,10 @@ func main() {
 	n := flag.Int("n", 100000, "vertices for -rmat")
 	m := flag.Int64("m", 1000000, "edges for -rmat")
 	seed := flag.Int64("seed", 1, "seed for -rmat")
+	shards := flag.Int("shards", 0, "generate -rmat with the sharded parallel generator using this many workers (0 = legacy serial stream)")
 	format := flag.String("format", "metis", "output format: metis, edgelist, or binary")
 	out := flag.String("o", "", "output file (default stdout)")
+	binaryOut := flag.String("binary-out", "", "also write the graph once in binary CSR format to this file (the scale benches reload it instead of regenerating)")
 	degreeWeights := flag.Bool("degree-weights", true, "set vertex weights/sizes to vertex degree (the paper's default)")
 	stats := flag.Bool("stats", false, "print structural statistics instead of writing the graph")
 	flag.Parse()
@@ -41,6 +43,8 @@ func main() {
 
 	var g *graph.Graph
 	switch {
+	case *rmat && *shards > 0:
+		g = gen.RMATSharded(int32(*n), *m, 0.57, 0.19, 0.19, *seed, *shards)
 	case *rmat:
 		g = gen.RMAT(int32(*n), *m, 0.57, 0.19, 0.19, *seed)
 	case *dataset != "":
@@ -58,6 +62,24 @@ func main() {
 	if *stats {
 		fmt.Println(graph.ComputeStats(g))
 		return
+	}
+
+	if *binaryOut != "" {
+		f, err := os.Create(*binaryOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := graph.WriteBinary(f, g); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote binary %s: %d vertices, %d edges\n", *binaryOut, g.NumVertices(), g.NumEdges())
+		if *out == "" {
+			return // binary-only run: don't dump METIS text to stdout too
+		}
 	}
 
 	w := os.Stdout

@@ -103,16 +103,17 @@ func RefinePair(g *graph.Graph, p *partition.Partitioning, orig []int32, pi, pj 
 }
 
 // RefinePairAllowed is RefinePair restricted to an explicit candidate
-// mask: only vertices v with allowed[v] may move. PARAGON uses this to
-// model the k-hop boundary shipping of §5 — a group server only holds the
-// vertices its group members shipped, so only those can migrate. A nil
-// mask admits every boundary vertex of the pair (full ARAGON behavior).
+// mask: only vertices with a set bit in allowed may move. PARAGON uses
+// this to model the k-hop boundary shipping of §5 — a group server only
+// holds the vertices its group members shipped, so only those can
+// migrate. A nil mask admits every boundary vertex of the pair (full
+// ARAGON behavior).
 //
 // This is the single-pair convenience form: it builds a fresh
 // partition.Index (O(|V|+|E|)) for the one call. Sweeps over many pairs
 // should build the index once and drive a Refiner instead, as Refine and
 // PARAGON's group servers do.
-func RefinePairAllowed(g *graph.Graph, p *partition.Partitioning, orig []int32, pi, pj int32, c [][]float64, loads []int64, maxLoad int64, cfg Config, allowed []bool) Result {
+func RefinePairAllowed(g *graph.Graph, p *partition.Partitioning, orig []int32, pi, pj int32, c [][]float64, loads []int64, maxLoad int64, cfg Config, allowed *partition.Bitset) Result {
 	r := NewRefiner(g, partition.BuildIndex(g, p), cfg)
 	return r.RefinePair(orig, pi, pj, c, loads, maxLoad, allowed)
 }

@@ -17,6 +17,16 @@ import (
 // implementation: candidates arrive in ascending vertex order, gains are
 // accumulated over partitions in ascending order, and the heap receives
 // pushes in the same sequence, so tie-breaking is unchanged.
+//
+// Under a uniform off-diagonal cost matrix (standard FM) the refiner
+// runs in delta mode: each candidate's gain is a pure function of two
+// integer accumulators (its edge weight toward each side of the pair),
+// which are kept current with O(1) updates per incident committed move
+// instead of an O(deg) adjacency rescan per update. Because the float
+// gain is recomputed from the same integer state the rescan would
+// produce, delta mode is bit-identical to rescan mode — it only removes
+// the repeated adjacency walks that dominate refinement on power-law
+// graphs (hub candidates are re-evaluated once per neighboring move).
 type Refiner struct {
 	g   *graph.Graph
 	p   *partition.Partitioning
@@ -33,11 +43,25 @@ type Refiner struct {
 	touched []int32  // partitions touched by the last dext fill
 	history []moveRec
 
+	// Delta-mode per-candidate state (uniform cost matrices only):
+	// dfrom/dto are the candidate's edge weight toward its own/the other
+	// partition of the pair, gmig its constant Eq. 9 migration term.
+	dfrom []int64
+	dto   []int64
+	gmig  []float64
+
 	// frozen, when non-nil, is a wave-constant view of the assignment used
 	// for reading neighbors that do not belong to the current pair. The
 	// scheduler updates it only at wave barriers, so every pair's gain
 	// computation is independent of concurrently executing pairs.
 	frozen []int32
+
+	// profile, when non-nil alongside frozen, is the scheduler's
+	// wave-start neighbor-partition weight table: delta-mode seeding
+	// reads each candidate's pair-local degrees from two O(log t)
+	// lookups instead of an O(deg) adjacency scan. The scheduler keeps
+	// it in lockstep with frozen at wave barriers.
+	profile *partition.NeighborProfile
 
 	// Cached off-diagonal-uniformity of the last cost matrix seen (keyed
 	// by its first row). Cost matrices are treated as immutable.
@@ -75,6 +99,13 @@ func (r *Refiner) SetFrozen(frozen []int32) {
 	r.frozen = frozen
 }
 
+// SetProfile installs (or clears) the wave-start neighbor-partition
+// weight table used to seed delta-mode gains under the frozen view. The
+// caller owns keeping it consistent with the frozen assignment.
+func (r *Refiner) SetProfile(np *partition.NeighborProfile) {
+	r.profile = np
+}
+
 // Move is one committed vertex relocation, recorded by
 // RefinePairScheduled so the parallel scheduler can replay the kept
 // prefix against the master partitioning in deterministic task order.
@@ -87,7 +118,7 @@ type Move struct {
 // execution order. The scheduler applies them to the authoritative index
 // at commit time; the refiner itself has already applied them to its own
 // shadow view.
-func (r *Refiner) RefinePairScheduled(dst []Move, orig []int32, pi, pj int32, c [][]float64, loads []int64, maxLoad int64, allowed []bool) ([]Move, Result) {
+func (r *Refiner) RefinePairScheduled(dst []Move, orig []int32, pi, pj int32, c [][]float64, loads []int64, maxLoad int64, allowed *partition.Bitset) ([]Move, Result) {
 	res := r.RefinePair(orig, pi, pj, c, loads, maxLoad, allowed)
 	for _, m := range r.history[:res.Moves] {
 		dst = append(dst, Move{V: m.v, To: m.to})
@@ -100,7 +131,7 @@ func (r *Refiner) RefinePairScheduled(dst []Move, orig []int32, pi, pj int32, c 
 // index. orig is the migration reference, loads the live per-partition
 // weights (updated in place, rollback included), and allowed the optional
 // movable-vertex mask of §5.
-func (r *Refiner) RefinePair(orig []int32, pi, pj int32, c [][]float64, loads []int64, maxLoad int64, allowed []bool) Result {
+func (r *Refiner) RefinePair(orig []int32, pi, pj int32, c [][]float64, loads []int64, maxLoad int64, allowed *partition.Bitset) Result {
 	if pi == pj {
 		return Result{}
 	}
@@ -119,14 +150,21 @@ func (r *Refiner) RefinePair(orig []int32, pi, pj int32, c [][]float64, loads []
 	if cap(r.gains) < n {
 		r.gains = make([]float64, n)
 		r.moved = make([]bool, n)
+		r.dfrom = make([]int64, n)
+		r.dto = make([]int64, n)
+		r.gmig = make([]float64, n)
 	} else {
 		r.gains = r.gains[:n]
 		r.moved = r.moved[:n]
+		r.dfrom = r.dfrom[:n]
+		r.dto = r.dto[:n]
+		r.gmig = r.gmig[:n]
 		for i := range r.moved {
 			r.moved[i] = false
 		}
 	}
 	r.h.reset()
+	delta := r.cUniform
 	recompute := func(idx int) {
 		v := r.cands[idx]
 		from := r.p.Assign[v]
@@ -136,9 +174,16 @@ func (r *Refiner) RefinePair(orig []int32, pi, pj int32, c [][]float64, loads []
 		}
 		r.gains[idx] = r.gain(v, from, to, orig, c)
 	}
-	for idx := 0; idx < n; idx++ {
-		recompute(idx)
-		r.h.push(int32(idx), r.gains[idx])
+	if delta {
+		for idx := 0; idx < n; idx++ {
+			r.seedUniform(idx, pi, pj, orig, c)
+			r.h.push(int32(idx), r.gains[idx])
+		}
+	} else {
+		for idx := 0; idx < n; idx++ {
+			recompute(idx)
+			r.h.push(int32(idx), r.gains[idx])
+		}
 	}
 
 	r.history = r.history[:0]
@@ -175,11 +220,48 @@ func (r *Refiner) RefinePair(orig []int32, pi, pj int32, c [][]float64, loads []
 			bad++
 		}
 		// Re-evaluate unmoved candidate neighbors of v: their d_ext
-		// toward pi/pj changed. O(deg) slot lookups replace the map.
-		for _, u := range r.g.Neighbors(v) {
-			if s := r.slot[u]; s != 0 && !r.moved[s-1] {
-				recompute(int(s - 1))
-				r.h.push(s-1, r.gains[s-1])
+		// toward pi/pj changed. In delta mode the two integer
+		// accumulators shift by the connecting edge weight — O(1) per
+		// neighbor; otherwise the gain is recomputed from an O(deg)
+		// adjacency rescan. Both orders of evaluation are identical:
+		// the gain value is the same function of the same state.
+		adj := r.g.Neighbors(v)
+		if delta {
+			w := r.g.EdgeWeights(v)
+			w = w[:len(adj)]
+			for i, u := range adj {
+				s := r.slot[u]
+				if s == 0 || r.moved[s-1] {
+					continue
+				}
+				ui := int(s - 1)
+				// u is unmoved, so its orientation (fromU → toU) is
+				// unchanged; v carried weight w toward `from`, now
+				// toward `to`.
+				fromU := r.p.Assign[u]
+				if from == fromU {
+					r.dfrom[ui] -= int64(w[i])
+				} else {
+					r.dto[ui] -= int64(w[i])
+				}
+				if to == fromU {
+					r.dfrom[ui] += int64(w[i])
+				} else {
+					r.dto[ui] += int64(w[i])
+				}
+				toU := pi
+				if fromU == pi {
+					toU = pj
+				}
+				r.gains[ui] = r.uniformGain(ui, fromU, toU, c)
+				r.h.push(s-1, r.gains[ui])
+			}
+		} else {
+			for _, u := range adj {
+				if s := r.slot[u]; s != 0 && !r.moved[s-1] {
+					recompute(int(s - 1))
+					r.h.push(s-1, r.gains[s-1])
+				}
 			}
 		}
 	}
@@ -197,15 +279,92 @@ func (r *Refiner) RefinePair(orig []int32, pi, pj int32, c [][]float64, loads []
 	return Result{Moves: bestLen, Gain: best, PairsSeen: 1}
 }
 
+// seedUniform initializes candidate idx's delta state — the pair-local
+// external degrees from one adjacency scan, the constant Eq. 9 term —
+// and its gain. The scan applies the same dual-view read rule as the
+// general path: a neighbor whose frozen owner is outside the pair is
+// read at its wave-constant frozen assignment.
+func (r *Refiner) seedUniform(idx int, pi, pj int32, orig []int32, c [][]float64) {
+	v := r.cands[idx]
+	from := r.p.Assign[v]
+	to := pi
+	if from == pi {
+		to = pj
+	}
+	var dfrom, dto int64
+	if frozen := r.frozen; frozen != nil {
+		if r.profile != nil {
+			// Seeding runs before any of this pair's moves, so every
+			// pair-owned neighbor still sits at its wave-start (frozen)
+			// owner and the dual-view sum collapses to the wave-start
+			// profile: two presorted-segment lookups, no adjacency walk.
+			// Integer sums are order-free, so this is the exact value
+			// the scan below computes.
+			dfrom, dto = r.profile.GetPair(v, from, to)
+		} else {
+			// Dual-view read: a neighbor counts toward the pair only if
+			// both its frozen owner and its live owner are in the pair —
+			// foreign vertices are read at their wave-constant frozen
+			// assignment, so concurrent pairs cannot perturb this sum.
+			adj := r.g.Neighbors(v)
+			w := r.g.EdgeWeights(v)
+			w = w[:len(adj)]
+			assign := r.p.Assign
+			for i, u := range adj {
+				a := frozen[u]
+				if a == from || a == to {
+					switch assign[u] {
+					case from:
+						dfrom += int64(w[i])
+					case to:
+						dto += int64(w[i])
+					}
+				}
+			}
+		}
+	} else {
+		adj := r.g.Neighbors(v)
+		w := r.g.EdgeWeights(v)
+		w = w[:len(adj)]
+		assign := r.p.Assign
+		for i, u := range adj {
+			switch assign[u] {
+			case from:
+				dfrom += int64(w[i])
+			case to:
+				dto += int64(w[i])
+			}
+		}
+	}
+	r.dfrom[idx] = dfrom
+	r.dto[idx] = dto
+	k0 := orig[v]
+	r.gmig[idx] = float64(r.g.VertexSize(v)) * (c[from][k0] - c[to][k0])
+	r.gains[idx] = r.uniformGain(idx, from, to, c)
+}
+
+// uniformGain is Eq. 5 specialized to an off-diagonal-constant cost
+// matrix (standard FM): every Eq. 8 term carries a factor
+// c[from][k]−c[to][k], which is exactly zero for k ∉ {from, to}, so
+// g_topo is identically +0.0 and the gain is a pure function of the
+// maintained pair-local external degrees. The expression tree matches
+// the historical rescan implementation term for term, so delta
+// re-evaluation is bit-identical to a full recompute.
+func (r *Refiner) uniformGain(idx int, from, to int32, c [][]float64) float64 {
+	gStd := r.cfg.Alpha * float64(r.dto[idx]-r.dfrom[idx]) * c[from][to]
+	gTopo := 0.0 // Σ dext[k]·0 — kept as an explicit +0.0 term so the
+	// final sum associates exactly as the general path's (gStd+gTopo)+gMig
+	gMig := r.gmig[idx]
+	return gStd + gTopo + gMig
+}
+
 // gain computes Eq. 5 for moving v from `from` to `to` using the sparse
 // external-degree scratch: O(deg(v) + K/64 + t) per evaluation instead of
 // the dense O(deg(v) + K). The partitions are visited in ascending order
 // (the touched bitmap is drained low bit first), matching the dense
-// loop's summation order bit for bit.
+// loop's summation order bit for bit. Only the general (non-uniform)
+// path comes through here; uniform matrices run in delta mode.
 func (r *Refiner) gain(v, from, to int32, orig []int32, c [][]float64) float64 {
-	if r.cUniform {
-		return r.gainUniform(v, from, to, orig, c)
-	}
 	if r.frozen != nil {
 		r.touched = partition.ExternalDegreesSparseFrozen(r.g, r.p.Assign, r.frozen, v, from, to, r.dext, r.dmask, r.touched[:0])
 	} else {
@@ -228,51 +387,6 @@ func (r *Refiner) gain(v, from, to int32, orig []int32, c [][]float64) float64 {
 	for _, k := range r.touched {
 		r.dext[k] = 0 // sparse reset: only the touched entries
 	}
-	return gStd + gTopo + gMig
-}
-
-// gainUniform is gain specialized to an off-diagonal-constant cost matrix
-// (standard FM): every Eq. 8 term carries a factor c[from][k]−c[to][k],
-// which is exactly zero for k ∉ {from, to}, so g_topo is identically +0.0
-// and only the pair-local external degrees are needed — one
-// two-accumulator pass over the adjacency, no per-partition scratch.
-func (r *Refiner) gainUniform(v, from, to int32, orig []int32, c [][]float64) float64 {
-	adj := r.g.Neighbors(v)
-	w := r.g.EdgeWeights(v)
-	w = w[:len(adj)]
-	assign := r.p.Assign
-	var dfrom, dto int64
-	if frozen := r.frozen; frozen != nil {
-		// Dual-view read: a neighbor counts toward the pair only if both
-		// its frozen owner and its live owner are in the pair — foreign
-		// vertices are read at their wave-constant frozen assignment, so
-		// concurrent pairs cannot perturb this sum.
-		for i, u := range adj {
-			a := frozen[u]
-			if a == from || a == to {
-				switch assign[u] {
-				case from:
-					dfrom += int64(w[i])
-				case to:
-					dto += int64(w[i])
-				}
-			}
-		}
-	} else {
-		for i, u := range adj {
-			switch assign[u] {
-			case from:
-				dfrom += int64(w[i])
-			case to:
-				dto += int64(w[i])
-			}
-		}
-	}
-	gStd := r.cfg.Alpha * float64(dto-dfrom) * c[from][to]
-	gTopo := 0.0 // Σ dext[k]·0 — kept as an explicit +0.0 term so the
-	// final sum associates exactly as the general path's (gStd+gTopo)+gMig
-	k0 := orig[v]
-	gMig := float64(r.g.VertexSize(v)) * (c[from][k0] - c[to][k0])
 	return gStd + gTopo + gMig
 }
 

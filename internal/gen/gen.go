@@ -387,19 +387,19 @@ func SampleEdges(g *graph.Graph, p float64, seed int64) *graph.Graph {
 
 // ensureNoIsolates attaches every isolated vertex to a random other vertex
 // so downstream partitioners and BSP apps see a degenerate-free graph.
+// Isolates are found by scanning the builder's staging arrays (same set,
+// same ascending order, same rng draws as the historical throwaway-Build
+// scan, so seeded outputs are unchanged).
 func ensureNoIsolates(bld *graph.Builder, rng *rand.Rand) {
 	n := bld.NumVertices()
 	if n < 2 {
 		return
 	}
-	g := bld.Build()
-	for v := int32(0); v < n; v++ {
-		if g.Degree(v) == 0 {
-			u := int32(rng.Intn(int(n)))
-			for u == v {
-				u = int32(rng.Intn(int(n)))
-			}
-			bld.AddEdge(v, u)
+	for _, v := range bld.AppendIsolated(nil) {
+		u := int32(rng.Intn(int(n)))
+		for u == v {
+			u = int32(rng.Intn(int(n)))
 		}
+		bld.AddEdge(v, u)
 	}
 }

@@ -1,0 +1,120 @@
+package gen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// graphFingerprint hashes the full CSR adjacency (degrees + sorted
+// neighbor lists) so two graphs fingerprint equal iff their edge sets
+// are identical.
+func graphFingerprint(t *testing.T, g interface {
+	NumVertices() int32
+	Neighbors(int32) []int32
+}) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	put := func(x int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	n := g.NumVertices()
+	put(int64(n))
+	for v := int32(0); v < n; v++ {
+		adj := g.Neighbors(v)
+		put(int64(len(adj)))
+		for _, u := range adj {
+			put(int64(u))
+		}
+	}
+	return h.Sum64()
+}
+
+func TestRMATShardedBasics(t *testing.T) {
+	g := RMATSharded(1000, 5000, 0.57, 0.19, 0.19, 42, 4)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("vertices = %d, want 1000", g.NumVertices())
+	}
+	// Attempt caps and cross-shard duplicate drops undershoot slightly;
+	// isolate attachment can add up to n edges.
+	if g.NumEdges() < 4000 || g.NumEdges() > 5000+int64(g.NumVertices()) {
+		t.Fatalf("edges = %d, want near 5000", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) == 0 {
+			t.Fatalf("vertex %d isolated", v)
+		}
+	}
+}
+
+// TestRMATShardedWorkerInvariance is the generator's core contract: the
+// logical shard decomposition is fixed, so the emitted graph is
+// bit-identical no matter how many workers run the shards.
+func TestRMATShardedWorkerInvariance(t *testing.T) {
+	var want uint64
+	for i, workers := range []int{1, 2, 8, 64} {
+		g := RMATSharded(2000, 8000, 0.57, 0.19, 0.19, 7, workers)
+		fp := graphFingerprint(t, g)
+		if i == 0 {
+			want = fp
+			continue
+		}
+		if fp != want {
+			t.Fatalf("workers=%d fingerprint %#x != workers=1 fingerprint %#x", workers, fp, want)
+		}
+	}
+}
+
+func TestRMATShardedSeedSensitivity(t *testing.T) {
+	g1 := RMATSharded(500, 2000, 0.57, 0.19, 0.19, 7, 2)
+	g2 := RMATSharded(500, 2000, 0.57, 0.19, 0.19, 8, 2)
+	if graphFingerprint(t, g1) == graphFingerprint(t, g2) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+// TestRMATShardedGolden pins the sharded generator's stream at small n.
+// If this hash moves, every committed benchmark and golden that consumed
+// RMATSharded output is invalidated — treat a failure as a breaking
+// change to the generator, not a test to update casually.
+func TestRMATShardedGolden(t *testing.T) {
+	g := RMATSharded(2000, 8000, 0.57, 0.19, 0.19, 7, 3)
+	got := fmt.Sprintf("%#x", graphFingerprint(t, g))
+	const want = "0xa8cc573f08e894cc"
+	if got != want {
+		t.Fatalf("sharded RMAT stream changed: fingerprint %s, want %s", got, want)
+	}
+}
+
+// TestRMATSerialGoldenUnchanged pins the legacy serial generator: the
+// staging-scan isolate fix must reproduce the historical throwaway-Build
+// scan byte for byte (same isolate set, same order, same rng draws).
+func TestRMATSerialGoldenUnchanged(t *testing.T) {
+	g := RMAT(2000, 8000, 0.57, 0.19, 0.19, 7)
+	got := fmt.Sprintf("%#x", graphFingerprint(t, g))
+	const want = "0x7c69926acc37128b"
+	if got != want {
+		t.Fatalf("serial RMAT stream changed: fingerprint %s, want %s", got, want)
+	}
+}
+
+func TestRMATShardedSkew(t *testing.T) {
+	g := RMATSharded(4096, 40000, 0.57, 0.19, 0.19, 3, 4)
+	maxDeg := int32(0)
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := 2 * g.NumEdges() / int64(g.NumVertices())
+	if int64(maxDeg) < 4*avg {
+		t.Fatalf("max degree %d not skewed vs average %d", maxDeg, avg)
+	}
+}

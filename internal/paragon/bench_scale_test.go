@@ -1,0 +1,157 @@
+package paragon
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"paragon/internal/gen"
+	"paragon/internal/graph"
+	"paragon/internal/stream"
+)
+
+// The scale benches (scripts/bench_scale.sh) are env-driven so one
+// process measures exactly one configuration — peak RSS is a per-process
+// high watermark (/proc/self/status VmHWM) and would smear across
+// sub-benchmarks otherwise. Without PARAGON_SCALE_N set they skip, so
+// ci.sh's bench-bitrot smoke still compiles and enters them.
+//
+//	PARAGON_SCALE_N         vertex count (required; edges = 8n)
+//	PARAGON_SCALE_WORKERS   Config.Workers for the refine round (default 1)
+//	PARAGON_SCALE_GRAPH     binary CSR file to load instead of generating
+//	                        (written once by gengraph -binary-out)
+//	PARAGON_SCALE_HASH_FILE append "n=<n> workers=<w> hash=<h>" after the
+//	                        run; the script cross-checks the hash over all
+//	                        worker counts (bit-identity at scale)
+
+func scaleEnvN(b *testing.B) int32 {
+	s := os.Getenv("PARAGON_SCALE_N")
+	if s == "" {
+		b.Skip("PARAGON_SCALE_N not set; run via scripts/bench_scale.sh")
+	}
+	n, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || n < 2 {
+		b.Fatalf("bad PARAGON_SCALE_N %q: %v", s, err)
+	}
+	return int32(n)
+}
+
+func scaleEnvWorkers() int {
+	if s := os.Getenv("PARAGON_SCALE_WORKERS"); s != "" {
+		if w, err := strconv.Atoi(s); err == nil && w > 0 {
+			return w
+		}
+	}
+	return 1
+}
+
+func scaleGraph(b *testing.B, n int32) *graph.Graph {
+	if path := os.Getenv("PARAGON_SCALE_GRAPH"); path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		g, err := graph.ReadBinary(bufio.NewReaderSize(f, 1<<20))
+		if err != nil {
+			b.Fatalf("load %s: %v", path, err)
+		}
+		if g.NumVertices() != n {
+			b.Fatalf("%s has %d vertices, PARAGON_SCALE_N says %d", path, g.NumVertices(), n)
+		}
+		g.UseDegreeWeights()
+		return g
+	}
+	g := gen.RMATSharded(n, int64(n)*8, 0.57, 0.19, 0.19, 42, runtime.GOMAXPROCS(0))
+	g.UseDegreeWeights()
+	return g
+}
+
+// peakRSSKB reads the process high-water resident set from
+// /proc/self/status (Linux; zero elsewhere).
+func peakRSSKB() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				kb, _ := strconv.ParseFloat(fields[0], 64)
+				return kb
+			}
+		}
+	}
+	return 0
+}
+
+func recordScaleHash(b *testing.B, n int32, workers int, hash uint64) {
+	path := os.Getenv("PARAGON_SCALE_HASH_FILE")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "n=%d workers=%d hash=%#x\n", n, workers, hash)
+}
+
+// BenchmarkScaleRefine measures one full refinement round (k=128, DRP 8,
+// the BenchmarkParagonRound configuration) at PARAGON_SCALE_N vertices
+// and PARAGON_SCALE_WORKERS workers — the end-to-end point of the
+// worker-scaling curve at n ≥ 1M.
+func BenchmarkScaleRefine(b *testing.B) {
+	n := scaleEnvN(b)
+	workers := scaleEnvWorkers()
+	g := scaleGraph(b, n)
+	p0 := stream.HP(g, 128)
+	cfg := Config{DRP: 8, Shuffles: 0, Seed: 1, Workers: workers}
+	var hash uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := p0.Clone()
+		b.StartTimer()
+		if _, err := RefineUniform(g, p, cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		hash = assignHash(p)
+		b.StartTimer()
+	}
+	b.ReportMetric(peakRSSKB(), "peakRSS-KB")
+	recordScaleHash(b, n, workers, hash)
+}
+
+// BenchmarkScaleGenBuildRound is the 10M-vertex headline: sharded
+// generation, CSR build, initial streaming decomposition, and one
+// refinement round, all inside the timer — the full cold-start path a
+// 10M-vertex deployment pays once.
+func BenchmarkScaleGenBuildRound(b *testing.B) {
+	n := scaleEnvN(b)
+	workers := scaleEnvWorkers()
+	var hash uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := gen.RMATSharded(n, int64(n)*8, 0.57, 0.19, 0.19, 42, runtime.GOMAXPROCS(0))
+		g.UseDegreeWeights()
+		p := stream.HP(g, 128)
+		if _, err := RefineUniform(g, p, Config{DRP: 8, Shuffles: 0, Seed: 1, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		hash = assignHash(p)
+		b.StartTimer()
+	}
+	b.ReportMetric(peakRSSKB(), "peakRSS-KB")
+	recordScaleHash(b, n, workers, hash)
+}

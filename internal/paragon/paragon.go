@@ -272,6 +272,7 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 	sc := newScheduler(g, p, ix, c, orig, maxLoad, cfg)
 	defer sc.close()
 	serverOf := make([]int32, k) // partition -> its group's server this round
+	ps := make([]int64, 0, k)    // pooled incident-edge sums, reused per round
 	st.Rounds = 1 + cfg.Shuffles
 	for round := 0; round < st.Rounds; round++ {
 		if tr != nil {
@@ -279,7 +280,7 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 		}
 		// Group-server selection (Eq. 10) from the maintained
 		// incident-edge sums — no rescan.
-		ps := ix.IncidentEdges()
+		ps = ix.AppendIncidentEdges(ps[:0])
 		servers := SelectGroupServers(groups, ps, c, cfg.NodeOf, cfg.DRP)
 		st.GroupServers = append(st.GroupServers, servers)
 
@@ -351,36 +352,16 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 			roundTicks = pol.RoundTimeout
 		}
 
-		// Pair-parallel refinement of the surviving groups against a
-		// shared shadow of the master (DESIGN.md §12): tournament waves
-		// of disjoint pairs, frozen-view reads for foreign vertices,
-		// kept moves recorded per task.
+		// Pair-parallel refinement of the surviving groups against the
+		// live shadow of the master (DESIGN.md §12, §14): tournament
+		// waves of disjoint pairs, frozen-view reads for foreign
+		// vertices, kept moves recorded per task. commitRound replays
+		// the kept moves into the master in task order (fixed-order
+		// float gain summation), restoring the delta round-sync
+		// invariant for the next round.
 		sc.buildSchedule(groups)
 		sc.runRound(int32(round), loads)
-
-		// Commit phase, in task order: groups own disjoint partitions
-		// and each wave's pairs are disjoint, so replaying the kept
-		// moves sequentially reproduces the shadow exactly. Gains reduce
-		// in task order (fixed-order float summation). Moves flow
-		// through the index to keep it consistent for the next round.
-		var roundGain float64
-		roundMoves := 0
-		for ti := range sc.tasks {
-			res := sc.results[ti]
-			st.PairsRefined++
-			st.Moves += res.Moves
-			st.Gain += res.Gain
-			roundGain += res.Gain
-			roundMoves += res.Moves
-			mx.pairMoves.Observe(int64(res.Moves))
-			for _, mv := range sc.taskMoves(int32(ti)) {
-				from := p.Assign[mv.V]
-				ix.Move(mv.V, mv.To)
-				w := int64(g.VertexWeight(mv.V))
-				loads[from] -= w
-				loads[mv.To] += w
-			}
-		}
+		roundMoves, roundGain := sc.commitRound(loads, &st)
 		clk.Advance(roundTicks)
 
 		st.RoundGains = append(st.RoundGains, roundGain)

@@ -19,10 +19,19 @@ package paragon
 //     A pair's computation therefore depends only on wave-start state,
 //     never on how concurrent pairs interleave.
 //   - Per-pair results land in task-indexed slices and are reduced in
-//     task order; the O(|V|) sweeps accumulate into a fixed number of
+//     task order; the sharded sweeps accumulate into a fixed number of
 //     shards (sweepShards, independent of Workers) reduced in shard
 //     order, so every float sum associates identically at any worker
 //     count.
+//
+// Scaling discipline (DESIGN.md §14): all per-round sequential work is
+// proportional to *moved/boundary* vertices, never to |V|. The frozen
+// view, the shared shadow, and the boundary bitset are initialized once
+// per Refine and thereafter patched only from the move log — the commit
+// loop leaves master, shadow, and frozen bit-identical at every round
+// boundary, so the per-round O(|V|) copies of the original design are
+// gone. The remaining full sweeps (ship accounting, migration sweep)
+// walk bit-packed masks at 64 vertices per word.
 //
 // The result is bit-identical to serial execution of the same schedule
 // for any Config.Workers, which TestSchedulerDeterminism asserts.
@@ -34,12 +43,13 @@ import (
 	"paragon/internal/partition"
 )
 
-// sweepShards is the fixed shard count for the per-round O(|V|) sweeps
-// (allowed mask, boundary-shipping accounting, final migration sweep).
-// It is deliberately independent of Config.Workers: per-shard
-// accumulators always cover identical vertex ranges, so the shard-order
-// reduction sums over the same boundaries no matter how many workers
-// executed the shards.
+// sweepShards is the fixed shard count for the per-round sweeps (allowed
+// mask, boundary-shipping accounting, final migration sweep). It is
+// deliberately independent of Config.Workers: per-shard accumulators
+// always cover identical vertex ranges, so the shard-order reduction
+// sums over the same boundaries no matter how many workers executed the
+// shards — and the serial migration sweep emulates the same shard
+// association exactly.
 const sweepShards = 64
 
 // pairTask is one scheduled refinement pair.
@@ -72,14 +82,34 @@ const (
 	kindPairs int32 = iota
 	kindMask
 	kindShip
-	kindMigrate
+)
+
+// Test hooks, consulted only when non-nil (set by scheduler tests, from
+// the coordinator goroutine, never concurrently with a running Refine).
+// testRoundStart fires before the first wave of a round; testWaveSynced
+// fires at each wave barrier after the frozen view absorbed the wave's
+// kept moves, with the wave's task range.
+var (
+	testRoundStart func(sc *scheduler)
+	testWaveSynced func(sc *scheduler, wave int, lo, hi int32)
 )
 
 // scheduler owns the shared state of one Refine call's parallel
 // execution: the shadow view the waves refine, the wave-constant frozen
 // assignment, the per-worker refiners and move arenas, and the shard
-// accumulators of the O(|V|) sweeps. It is created once per Refine and
+// accumulators of the sharded sweeps. It is created once per Refine and
 // its worker goroutines live until close.
+//
+// Delta round-sync invariant (DESIGN.md §14): outside runRound,
+//
+//	cur.Assign == frozen == pm.Assign,
+//
+// and the shadow's buckets hold the same membership as the master
+// index's. newScheduler establishes the invariant with one O(|V|) init;
+// commitRound preserves it by replaying exactly the kept moves into the
+// master that the waves already applied to the shadow (rolled-back moves
+// were undone through the shadow before the wave barrier) and that the
+// barriers already patched into frozen.
 type scheduler struct {
 	g       *graph.Graph
 	pm      *partition.Partitioning // master (authoritative) partitioning
@@ -89,9 +119,10 @@ type scheduler struct {
 	maxLoad int64
 	workers int
 
-	cur    *partition.Partitioning // shared live view refined by the waves
-	frozen []int32                 // wave-constant copy, synced at barriers
-	shadow *partition.Shadow
+	cur     *partition.Partitioning // shared live view refined by the waves
+	frozen  []int32                 // wave-constant copy, synced at barriers
+	shadow  *partition.Shadow
+	profile *partition.NeighborProfile // wave-start neighbor weights, synced with frozen
 
 	refiners []*aragon.Refiner
 	arenas   [][]aragon.Move
@@ -114,15 +145,24 @@ type scheduler struct {
 
 	roundLoads []int64
 
-	mask     []bool  // per-round movable-vertex mask (§5), reused
-	boundary []int32 // AppendBoundary scratch for the k-hop path
+	// Movable-vertex mask machinery (§5). bmask is the boundary bitset,
+	// filled by one sharded scan on the first round and thereafter
+	// delta-maintained from the commit log's dirty list (a vertex's
+	// boundary status can change only when it or a neighbor moves).
+	// mask is what refiners and the ship sweep consume: bmask itself at
+	// k-hop 0, or the k-hop expansion kmask otherwise.
+	mask     *partition.Bitset
+	bmask    *partition.Bitset
+	kmask    *partition.Bitset // lazily allocated, k-hop > 0 only
+	maskInit bool
+	dirty    []int32 // moved vertices + neighbors since the last mask refresh
+	diff     *partition.Bitset // v set iff pm.Assign[v] != orig[v]
+	boundary []int32 // AppendSet scratch for the k-hop path
 	frontier []int32 // ExpandFrontier scratch for the k-hop path
 	serverOf []int32 // partition -> group server, set by the caller
 
 	shipVerts []int64
 	shipEdges []int64
-	migVerts  []int64
-	migCost   []float64
 
 	start []chan span
 	done  chan struct{}
@@ -151,21 +191,29 @@ func newScheduler(g *graph.Graph, pm *partition.Partitioning, ix *partition.Inde
 		ebufs: make([]obs.Buf, w),
 
 		roundLoads: make([]int64, pm.K),
-		mask:       make([]bool, n),
+		bmask:      partition.NewBitset(n),
+		diff:       partition.NewBitset(n),
 
 		shipVerts: make([]int64, sweepShards),
 		shipEdges: make([]int64, sweepShards),
-		migVerts:  make([]int64, sweepShards),
-		migCost:   make([]float64, sweepShards),
 
 		start: make([]chan span, w),
 		done:  make(chan struct{}, w),
 	}
+	sc.mask = sc.bmask
+	// The one O(|V|) sync of the whole Refine: seed the live view, the
+	// frozen view, and the shadow from the master. Every later round
+	// starts from the delta round-sync invariant instead of re-copying.
+	copy(sc.cur.Assign, pm.Assign)
+	copy(sc.frozen, pm.Assign)
 	sc.shadow = partition.NewShadow(sc.cur, n)
+	sc.shadow.Reset(ix)
+	sc.profile = partition.BuildNeighborProfile(g, sc.frozen, pm.K)
 	acfg := cfg.aragonConfig()
 	for i := 0; i < w; i++ {
 		r := aragon.NewRefiner(g, sc.shadow, acfg)
 		r.SetFrozen(sc.frozen)
+		r.SetProfile(sc.profile)
 		sc.refiners[i] = r
 		sc.start[i] = make(chan span, 1)
 		go sc.worker(i)
@@ -191,8 +239,6 @@ func (sc *scheduler) worker(w int) {
 			sc.runMaskShards(w)
 		case kindShip:
 			sc.runShipShards(w)
-		case kindMigrate:
-			sc.runMigrateShards(w)
 		}
 		sc.done <- struct{}{}
 	}
@@ -278,21 +324,22 @@ func (sc *scheduler) appendWavePairs(group []int32, t int) {
 	}
 }
 
-// runRound executes the current schedule against a fresh shadow of the
-// master: wave by wave, with the coordinator syncing the frozen view in
-// task order at every barrier. Kept moves land in per-worker arenas;
-// the commit loop in Refine replays them into the master in task order.
-// Staged trace events are committed at the same barrier, also in task
-// order.
+// runRound executes the current schedule against the live shadow: wave
+// by wave, with the coordinator syncing the frozen view in task order at
+// every barrier. The shadow, the live view, and the frozen view already
+// equal the master on entry (delta round-sync invariant) — no per-round
+// copies. Kept moves land in per-worker arenas; commitRound replays them
+// into the master in task order. Staged trace events are committed at
+// the same barrier, also in task order.
 func (sc *scheduler) runRound(round int32, loads []int64) {
-	copy(sc.cur.Assign, sc.pm.Assign)
-	copy(sc.frozen, sc.pm.Assign)
-	sc.shadow.Reset(sc.ix)
 	copy(sc.roundLoads, loads)
 	sc.round = round
 	for w := range sc.arenas {
 		sc.arenas[w] = sc.arenas[w][:0]
 		sc.ebufs[w].Reset()
+	}
+	if testRoundStart != nil {
+		testRoundStart(sc)
 	}
 	for t := 0; t+1 < len(sc.waves); t++ {
 		lo, hi := sc.waves[t], sc.waves[t+1]
@@ -305,11 +352,20 @@ func (sc *scheduler) runRound(round int32, loads []int64) {
 		}
 		sc.dispatch(span{kind: kindPairs, lo: lo, hi: hi})
 		// Wave barrier: publish this wave's kept moves into the frozen
-		// view, in task order. Each vertex is moved by at most one pair
-		// per wave (disjoint partitions), so this is a plain replay.
+		// view and the wave-start profile, in task order — a delta patch
+		// over the move log, never a full copy. Each vertex is moved by
+		// at most one pair per wave (disjoint partitions), so this is a
+		// plain replay.
 		waveMoves := 0
 		for ti := lo; ti < hi; ti++ {
 			for _, mv := range sc.taskMoves(ti) {
+				old := sc.frozen[mv.V]
+				adj := sc.g.Neighbors(mv.V)
+				ew := sc.g.EdgeWeights(mv.V)
+				ew = ew[:len(adj)]
+				for i, u := range adj {
+					sc.profile.MoveNeighbor(u, old, mv.To, int64(ew[i]))
+				}
 				sc.frozen[mv.V] = mv.To
 			}
 			waveMoves += sc.results[ti].Moves
@@ -324,7 +380,45 @@ func (sc *scheduler) runRound(round int32, loads []int64) {
 			sc.trace.Emit(obs.Event{Kind: obs.KindWaveCommitted, Round: round,
 				A: int32(t), N: int64(waveMoves)})
 		}
+		if testWaveSynced != nil {
+			testWaveSynced(sc, t, lo, hi)
+		}
 	}
+}
+
+// commitRound replays the round's kept moves into the master
+// partitioning, in task order, restoring the delta round-sync invariant:
+// the shadow applied exactly these moves during the waves (rolled-back
+// suffixes were undone through it), and the wave barriers patched
+// exactly these moves into frozen, so after the replay
+// cur.Assign == frozen == pm.Assign without any copying. Per-task gains
+// are reduced into st in task order — the fixed-order float summation of
+// the determinism contract. The move log also feeds the two delta
+// structures of the sweeps: the dirty list (moved vertices + neighbors,
+// whose boundary status the next mask refresh re-evaluates) and the diff
+// bitset (vertices whose owner differs from the original decomposition,
+// walked by the final migration sweep).
+func (sc *scheduler) commitRound(loads []int64, st *Stats) (roundMoves int, roundGain float64) {
+	for ti := range sc.tasks {
+		res := sc.results[ti]
+		st.PairsRefined++
+		st.Moves += res.Moves
+		st.Gain += res.Gain
+		roundGain += res.Gain
+		roundMoves += res.Moves
+		sc.mx.pairMoves.Observe(int64(res.Moves))
+		for _, mv := range sc.taskMoves(int32(ti)) {
+			from := sc.pm.Assign[mv.V]
+			sc.ix.Move(mv.V, mv.To)
+			w := int64(sc.g.VertexWeight(mv.V))
+			loads[from] -= w
+			loads[mv.To] += w
+			sc.diff.SetTo(mv.V, mv.To != sc.orig[mv.V])
+			sc.dirty = append(sc.dirty, mv.V)
+			sc.dirty = append(sc.dirty, sc.g.Neighbors(mv.V)...)
+		}
+	}
+	return roundMoves, roundGain
 }
 
 // runPairs refines this worker's share (static modulo assignment) of
@@ -359,32 +453,63 @@ func (sc *scheduler) taskMoves(ti int32) []aragon.Move {
 	return sc.arenas[sp.worker][sp.mstart:sp.mend]
 }
 
-// allowedMask fills the reusable movable-vertex mask of §5. The k-hop 0
-// default reads the index's maintained boundary bits, sharded across
-// the pool; the k-hop expansion is a BFS and stays serial, reusing the
-// boundary/frontier scratch.
-func (sc *scheduler) allowedMask(kHop int) []bool {
-	if kHop <= 0 {
+// allowedMask refreshes and returns the movable-vertex mask of §5. The
+// boundary bitset is filled by one sharded full scan on the first call;
+// every later round only re-evaluates the commit log's dirty vertices —
+// a vertex's boundary status can change only when it or a neighbor
+// moves, so the refresh cost is proportional to the previous round's
+// moved volume, not |V|. The k-hop 0 default returns the boundary
+// bitset directly; a positive radius expands it with the BFS into the
+// separate kmask.
+func (sc *scheduler) allowedMask(kHop int) *partition.Bitset {
+	if !sc.maskInit {
 		sc.dispatch(span{kind: kindMask})
+		sc.maskInit = true
+	} else {
+		for _, v := range sc.dirty {
+			sc.bmask.SetTo(v, sc.ix.IsBoundary(v))
+		}
+	}
+	sc.dirty = sc.dirty[:0]
+	if kHop <= 0 {
+		sc.mask = sc.bmask
 		return sc.mask
 	}
-	for i := range sc.mask {
-		sc.mask[i] = false
+	if sc.kmask == nil {
+		sc.kmask = partition.NewBitset(sc.g.NumVertices())
 	}
-	sc.boundary = sc.ix.AppendBoundary(sc.boundary[:0])
+	sc.boundary = sc.bmask.AppendSet(sc.boundary[:0])
 	sc.frontier = graph.ExpandFrontier(sc.g, sc.boundary, kHop, sc.frontier)
+	sc.kmask.ClearAll()
 	for _, v := range sc.frontier {
-		sc.mask[v] = true
+		sc.kmask.Set(v)
 	}
+	sc.mask = sc.kmask
 	return sc.mask
 }
 
+// runMaskShards fills this worker's word-aligned shards of the boundary
+// bitset from the index's maintained counts — the one full boundary
+// scan of a Refine. Shard boundaries are word-aligned (WordShard), so
+// concurrent workers never write the same word.
 func (sc *scheduler) runMaskShards(w int) {
 	n := sc.g.NumVertices()
+	words := sc.bmask.Words()
 	for s := w; s < sweepShards; s += sc.workers {
-		lo, hi := shardRange(n, s)
-		for v := lo; v < hi; v++ {
-			sc.mask[v] = sc.ix.IsBoundary(v)
+		wLo, wHi := partition.WordShard(n, s, sweepShards)
+		for wi := wLo; wi < wHi; wi++ {
+			lo := int32(wi) << 6
+			hi := lo + 64
+			if hi > n {
+				hi = n
+			}
+			var word uint64
+			for v := lo; v < hi; v++ {
+				if sc.ix.IsBoundary(v) {
+					word |= 1 << (uint32(v) & 63)
+				}
+			}
+			words[wi] = word
 		}
 	}
 }
@@ -403,54 +528,48 @@ func (sc *scheduler) shipAccounting(serverOf []int32) (verts, edges int64) {
 	return verts, edges
 }
 
+// runShipShards walks only the set bits of the movable mask — 64
+// vertices per word skipped when none is movable — instead of testing
+// every vertex. Shard partials are integers, summed in shard order.
 func (sc *scheduler) runShipShards(w int) {
 	n := sc.g.NumVertices()
 	assign := sc.pm.Assign
 	for s := w; s < sweepShards; s += sc.workers {
 		lo, hi := shardRange(n, s)
 		var verts, edges int64
-		for v := lo; v < hi; v++ {
-			if !sc.mask[v] {
-				continue
-			}
+		sc.mask.Range(lo, hi, func(v int32) {
 			if sv := sc.serverOf[assign[v]]; sv >= 0 && sv != assign[v] {
 				verts++
 				edges += int64(sc.g.Degree(v))
 			}
-		}
+		})
 		sc.shipVerts[s] = verts
 		sc.shipEdges[s] = edges
 	}
 }
 
 // migrationSweep computes the final migration plan vs. the input
-// decomposition. Per-shard float partials are reduced in shard order —
-// the fixed-order float reduction of the determinism contract.
+// decomposition by walking the maintained diff bitset — cost
+// proportional to migrated vertices (plus the O(|V|/64) word scan),
+// not |V|. The float partials are still accumulated per fixed shard and
+// reduced in shard order, emulating the historical sharded sweep's
+// summation association exactly, so the result is bit-identical to the
+// full-scan implementation at every worker count.
 func (sc *scheduler) migrationSweep() (int64, float64) {
-	sc.dispatch(span{kind: kindMigrate})
+	n := sc.g.NumVertices()
+	assign := sc.pm.Assign
 	var mv int64
 	var mc float64
 	for s := 0; s < sweepShards; s++ {
-		mv += sc.migVerts[s]
-		mc += sc.migCost[s]
+		lo, hi := shardRange(n, s)
+		var shardVerts int64
+		var shardCost float64
+		sc.diff.Range(lo, hi, func(v int32) {
+			shardVerts++
+			shardCost += float64(sc.g.VertexSize(v)) * sc.c[sc.orig[v]][assign[v]]
+		})
+		mv += shardVerts
+		mc += shardCost
 	}
 	return mv, mc
-}
-
-func (sc *scheduler) runMigrateShards(w int) {
-	n := sc.g.NumVertices()
-	assign := sc.pm.Assign
-	for s := w; s < sweepShards; s += sc.workers {
-		lo, hi := shardRange(n, s)
-		var mv int64
-		var mc float64
-		for v := lo; v < hi; v++ {
-			if assign[v] != sc.orig[v] {
-				mv++
-				mc += float64(sc.g.VertexSize(v)) * sc.c[sc.orig[v]][assign[v]]
-			}
-		}
-		sc.migVerts[s] = mv
-		sc.migCost[s] = mc
-	}
 }

@@ -28,9 +28,9 @@ type PairIndexer interface {
 	// AppendPairCandidates appends the movable candidates of the pair
 	// (pi, pj) to dst in ascending vertex order and returns dst. With a
 	// non-nil mask, the candidates are exactly the members of the two
-	// partitions with allowed[v]; with a nil mask they are the pair's
-	// boundary vertices.
-	AppendPairCandidates(dst []int32, pi, pj int32, allowed []bool) []int32
+	// partitions whose mask bit is set; with a nil mask they are the
+	// pair's boundary vertices.
+	AppendPairCandidates(dst []int32, pi, pj int32, allowed *Bitset) []int32
 	// Move reassigns v, updating the underlying partitioning and every
 	// incrementally maintained structure.
 	Move(v, to int32)
@@ -69,6 +69,17 @@ func BuildIndex(g *graph.Graph, p *Partitioning) *Index {
 		pos:      make([]int32, n),
 		incident: make([]int64, p.K),
 	}
+	// Exact-size bucket preallocation: a counting pass first, then one
+	// allocation per bucket with growth slack. Appending into nil
+	// buckets instead costs O(K·log(|V|/K)) reallocations, which shows
+	// up as allocation counts that grow with the graph size.
+	cnt := make([]int32, p.K)
+	for v := int32(0); v < n; v++ {
+		cnt[p.Assign[v]]++
+	}
+	for q := range ix.buckets {
+		ix.buckets[q] = make([]int32, 0, bucketCap(cnt[q]))
+	}
 	for v := int32(0); v < n; v++ {
 		pv := p.Assign[v]
 		ix.pos[v] = int32(len(ix.buckets[pv]))
@@ -84,6 +95,10 @@ func BuildIndex(g *graph.Graph, p *Partitioning) *Index {
 	}
 	return ix
 }
+
+// bucketCap adds headroom for refinement moves on top of a bucket's
+// seeded size, so steady-state rounds rarely reallocate.
+func bucketCap(n int32) int32 { return n + n/8 + 8 }
 
 // Partitioning returns the decomposition this index maintains.
 func (ix *Index) Partitioning() *Partitioning { return ix.p }
@@ -160,7 +175,14 @@ func (ix *Index) PartitionVertices(q int32) []int32 { return ix.buckets[q] }
 // incident-edge sums — the ps[i] of Eq. 10, without the O(|V|) rescan of
 // Partitioning.IncidentEdges.
 func (ix *Index) IncidentEdges() []int64 {
-	return append([]int64(nil), ix.incident...)
+	return ix.AppendIncidentEdges(nil)
+}
+
+// AppendIncidentEdges appends the maintained per-partition incident-edge
+// sums to dst and returns dst, so per-round callers can reuse one
+// backing array.
+func (ix *Index) AppendIncidentEdges(dst []int64) []int64 {
+	return append(dst, ix.incident...)
 }
 
 // PairCandidates returns the boundary vertices of the pair (pi, pj) in
@@ -174,12 +196,12 @@ func (ix *Index) PairCandidates(pi, pj int32) []int32 {
 // vertex scan, and returned in ascending vertex order (the order the
 // scan-based enumeration produced, which the refiner's heap tie-breaking
 // depends on).
-func (ix *Index) AppendPairCandidates(dst []int32, pi, pj int32, allowed []bool) []int32 {
+func (ix *Index) AppendPairCandidates(dst []int32, pi, pj int32, allowed *Bitset) []int32 {
 	n0 := len(dst)
 	for _, b := range [2][]int32{ix.buckets[pi], ix.buckets[pj]} {
 		for _, v := range b {
 			if allowed != nil {
-				if allowed[v] {
+				if allowed.Get(v) {
 					dst = append(dst, v)
 				}
 			} else if ix.ext[v] > 0 {
@@ -249,13 +271,20 @@ func NewShadow(view *Partitioning, n int32) *Shadow {
 }
 
 // Reset reseeds the shadow's buckets and positions from the master index
-// in O(|V|), reusing the bucket backing arrays. The caller must bring
-// the view's Assign array in sync with the master separately (the
-// scheduler copies it once per round).
+// in O(|V|), reusing (and exactly pre-sizing) the bucket backing arrays.
+// The caller must bring the view's Assign array in sync with the master
+// separately. Under the delta round-sync discipline (DESIGN.md §14) the
+// scheduler calls this once per Refine, not once per round: the commit
+// loop leaves the shadow and the master bit-identical, so later rounds
+// start from the live shadow state.
 func (s *Shadow) Reset(ix *Index) {
 	copy(s.pos, ix.pos)
 	for q := range s.buckets {
-		s.buckets[q] = append(s.buckets[q][:0], ix.buckets[q]...)
+		b := ix.buckets[q]
+		if cap(s.buckets[q]) < len(b) {
+			s.buckets[q] = make([]int32, 0, bucketCap(int32(len(b))))
+		}
+		s.buckets[q] = append(s.buckets[q][:0], b...)
 	}
 }
 
@@ -284,14 +313,14 @@ func (s *Shadow) Move(v, to int32) {
 
 // AppendPairCandidates implements PairIndexer. A Shadow tracks no
 // boundary counts, so the mask is mandatory.
-func (s *Shadow) AppendPairCandidates(dst []int32, pi, pj int32, allowed []bool) []int32 {
+func (s *Shadow) AppendPairCandidates(dst []int32, pi, pj int32, allowed *Bitset) []int32 {
 	if allowed == nil {
 		panic("partition: Shadow.AppendPairCandidates requires an allowed mask (shadows keep no boundary counts)")
 	}
 	n0 := len(dst)
 	for _, b := range [2][]int32{s.buckets[pi], s.buckets[pj]} {
 		for _, v := range b {
-			if allowed[v] {
+			if allowed.Get(v) {
 				dst = append(dst, v)
 			}
 		}

@@ -21,7 +21,7 @@ func randomPartitioning(g *graph.Graph, k int32, rng *rand.Rand) *Partitioning {
 // scanPairCandidates is the historical O(|V|) candidate enumeration the
 // index replaced: scan every vertex, keep members of the pair that are
 // movable. The index must reproduce its output exactly.
-func scanPairCandidates(g *graph.Graph, p *Partitioning, pi, pj int32, allowed []bool) []int32 {
+func scanPairCandidates(g *graph.Graph, p *Partitioning, pi, pj int32, allowed *Bitset) []int32 {
 	var out []int32
 	for v := int32(0); v < g.NumVertices(); v++ {
 		pv := p.Assign[v]
@@ -29,7 +29,7 @@ func scanPairCandidates(g *graph.Graph, p *Partitioning, pi, pj int32, allowed [
 			continue
 		}
 		if allowed != nil {
-			if allowed[v] {
+			if allowed.Get(v) {
 				out = append(out, v)
 			}
 		} else if IsBoundary(g, p, v) {
@@ -54,9 +54,9 @@ func TestIndexMatchesScanOnRandomGraphs(t *testing.T) {
 			const k = 7
 			p := randomPartitioning(tc.g, k, rng)
 			ix := BuildIndex(tc.g, p)
-			allowed := make([]bool, tc.g.NumVertices())
-			for v := range allowed {
-				allowed[v] = rng.Intn(3) != 0
+			allowed := NewBitset(tc.g.NumVertices())
+			for v := int32(0); v < allowed.Len(); v++ {
+				allowed.SetTo(v, rng.Intn(3) != 0)
 			}
 			check := func() {
 				t.Helper()
@@ -142,9 +142,9 @@ func TestShadow(t *testing.T) {
 
 	// Candidate enumeration under a mask must match the scan over the view,
 	// before and after moves through the shadow.
-	allowed := make([]bool, g.NumVertices())
-	for v := range allowed {
-		allowed[v] = rng.Intn(2) == 0
+	allowed := NewBitset(g.NumVertices())
+	for v := int32(0); v < allowed.Len(); v++ {
+		allowed.SetTo(v, rng.Intn(2) == 0)
 	}
 	checkPairs := func() {
 		t.Helper()

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Scale pass (DESIGN.md §14): measures the refinement round at n ≥ 1M
+# vertices across worker counts, plus the 10M-vertex cold-start pipeline
+# (sharded generation + CSR build + initial decomposition + one round),
+# and emits BENCH_scale.json with ns/op, allocs/op and peak RSS per
+# point. Each point runs in its own test process because peak RSS is a
+# per-process high watermark (/proc/self/status VmHWM).
+#
+# Graphs are generated ONCE per n by gengraph -shards/-binary-out and
+# reloaded by every worker-count run, so the curve never re-pays
+# generation. The per-n assignment hashes are cross-checked: every
+# worker count must produce the bit-identical decomposition, or the run
+# aborts.
+#
+# Usage: scripts/bench_scale.sh [output.json]
+#   SCALE_NS="100000"  SCALE_WORKERS="1" SCALE_TENM=0 \
+#       scripts/bench_scale.sh /tmp/smoke.json    # ci.sh smoke config
+#   SCALE_ITERS=3 scripts/bench_scale.sh          # more iterations
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_scale.json}"
+ns_list="${SCALE_NS:-1000000}"
+workers_list="${SCALE_WORKERS:-1 2 4}"
+tenm="${SCALE_TENM:-10000000}"
+iters="${SCALE_ITERS:-1}"
+seed=42
+
+ncpu="$(getconf _NPROCESSORS_ONLN)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+go build -o "$tmpdir/gengraph" ./cmd/gengraph
+go test -c -o "$tmpdir/paragon.test" ./internal/paragon/
+
+# run_bench BENCH N WORKERS GRAPHFILE HASHFILE -> "ns_op allocs_op rss_kb"
+run_bench() {
+    PARAGON_SCALE_N="$2" PARAGON_SCALE_WORKERS="$3" PARAGON_SCALE_GRAPH="$4" \
+    PARAGON_SCALE_HASH_FILE="$5" \
+    "$tmpdir/paragon.test" -test.run '^$' -test.bench "^$1\$" \
+        -test.benchtime "${iters}x" -test.benchmem \
+    | awk '/^Benchmark/ {
+        for (i = 3; i < NF; i += 2) u[$(i+1)] = $i
+        # Pass the raw strings through: ns/op at 10M vertices exceeds
+        # 2^31 and printf %d clamps in 32-bit awks (mawk).
+        printf("%s %s %s\n", u["ns/op"], u["allocs/op"], u["peakRSS-KB"])
+        found = 1
+      }
+      END { if (!found) exit 1 }'
+}
+
+points="$tmpdir/points"   # lines: label ns_op allocs_op rss_kb
+: > "$points"
+
+for n in $ns_list; do
+    m=$((n * 8))
+    gfile="$tmpdir/rmat_$n.bin"
+    echo "bench_scale: generating n=$n m=$m (sharded, $ncpu workers)..." >&2
+    "$tmpdir/gengraph" -rmat -n "$n" -m "$m" -seed "$seed" -shards "$ncpu" \
+        -binary-out "$gfile"
+    hashfile="$tmpdir/hash_$n.txt"
+    : > "$hashfile"
+    for w in $workers_list; do
+        echo "bench_scale: refine n=$n workers=$w..." >&2
+        read -r nsop allocs rss < <(run_bench BenchmarkScaleRefine "$n" "$w" "$gfile" "$hashfile")
+        echo "refine/n=$n/workers=$w $nsop $allocs $rss" >> "$points"
+    done
+    # Bit-identity across worker counts: one distinct hash per n, or die.
+    nh="$(awk '{ print $3 }' "$hashfile" | sort -u | wc -l)"
+    if [ "$nh" -ne 1 ]; then
+        echo "bench_scale: FATAL: n=$n produced $nh distinct assignment hashes across worker counts:" >&2
+        cat "$hashfile" >&2
+        exit 1
+    fi
+    awk -v n="$n" '{ sub(/^hash=/, "", $3); print "hash/n=" n, $3; exit }' "$hashfile" >> "$points"
+done
+
+if [ "$tenm" -gt 0 ]; then
+    echo "bench_scale: 10M cold-start pipeline (n=$tenm, gen+build+decompose+round)..." >&2
+    hashfile="$tmpdir/hash_tenm.txt"
+    : > "$hashfile"
+    read -r nsop allocs rss < <(run_bench BenchmarkScaleGenBuildRound "$tenm" "$ncpu" "" "$hashfile")
+    echo "pipeline/n=$tenm $nsop $allocs $rss" >> "$points"
+    awk -v n="$tenm" '{ sub(/^hash=/, "", $3); print "pipelinehash/n=" n, $3; exit }' "$hashfile" >> "$points"
+fi
+
+awk -v out="$out" -v iters="$iters" -v ncpu="$ncpu" -v seed="$seed" '
+{ kind = $1 }
+kind ~ /^refine\// || kind ~ /^pipeline\// {
+    ns[kind] = $2; allocs[kind] = $3; rss[kind] = $4; order[cnt++] = kind
+    split(kind, parts, "/")
+    if (parts[3] == "workers=1") w1[parts[2]] = $2
+}
+kind ~ /hash\// { split(kind, parts, "/"); hash[parts[2]] = $2 }
+END {
+    if (cnt == 0) { print "bench_scale.sh: no points" > "/dev/stderr"; exit 1 }
+    printf("{\n")                                                     > out
+    printf("  \"benchtime\": \"%sx per point, one process per point\",\n", iters) > out
+    printf("  \"graph\": \"RMATSharded m=8n seed=%s, degree weights, k=128, DRP 8, 1 round; generated once via gengraph -shards/-binary-out, reloaded per point\",\n", seed) > out
+    printf("  \"hardware\": { \"online_cpus\": %s },\n", ncpu)        > out
+    printf("  \"note\": \"peak_rss_kb is the process VmHWM (graph + refine). every worker count of an n produced the recorded assignment hash — bit-identity is checked by the harness, not assumed. speedup_vs_workers1 is bounded above by min(workers, online_cpus).\",\n") > out
+    printf("  \"points\": {\n")                                       > out
+    for (i = 0; i < cnt; i++) {
+        p = order[i]
+        split(p, parts, "/")
+        nlabel = parts[2]
+        s1 = (p ~ /^refine\// && w1[nlabel] > 0) ? w1[nlabel] / ns[p] : 1
+        printf("    \"%s\": { \"ns_op\": %s, \"allocs_op\": %s, \"peak_rss_kb\": %s, \"speedup_vs_workers1\": %.2f, \"assign_hash\": \"%s\" }%s\n",
+               p, ns[p], allocs[p], rss[p], s1, hash[nlabel], (i < cnt - 1) ? "," : "") > out
+    }
+    printf("  }\n}\n")                                                > out
+}
+' "$points"
+
+echo "bench_scale: wrote $out"

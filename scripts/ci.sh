@@ -47,4 +47,13 @@ cmp "$obsdir/m1.prom" "$obsdir/m8.prom"
 # code can't silently rot between perf-measurement sessions.
 go test -bench=. -benchtime=1x -run='^$' ./... > /dev/null
 
+# Scale-harness smoke: the full bench_scale.sh pipeline (sharded
+# generation, binary write/reload, env-driven bench processes, hash
+# cross-check, JSON assembly) at n=100k with one iteration and the 10M
+# point disabled — seconds, not minutes, but any wiring rot fails here
+# instead of during a real measurement session.
+SCALE_NS="100000" SCALE_WORKERS="1 2" SCALE_TENM=0 \
+    scripts/bench_scale.sh "$obsdir/scale_smoke.json" > /dev/null
+grep -q '"refine/n=100000/workers=2"' "$obsdir/scale_smoke.json"
+
 echo "ci: all green"
