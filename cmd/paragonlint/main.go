@@ -1,20 +1,29 @@
 // Command paragonlint runs the repo-specific static-analysis suite of
 // internal/lint over the tree. It enforces the determinism contract of
 // DESIGN.md: seeded runs must be bit-identical, so map-iteration order,
-// ambient randomness, kernel clock reads, unsynchronized fan-out, and
-// reorder-sensitive float accumulation are machine-checked instead of
-// hoped for.
+// ambient randomness, kernel clock reads, unsynchronized fan-out,
+// reorder-sensitive float accumulation, goroutine writes outside the
+// arena/barrier commit protocol, and stale suppressions are
+// machine-checked instead of hoped for.
 //
 // Usage:
 //
-//	paragonlint [-list] [-checkers a,b] [packages]
+//	paragonlint [-list] [-checkers a,b] [-kernel] [-json file] [-sarif file] [packages]
 //
 // Package patterns follow the go tool's directory forms ("./...",
 // "./internal/...", plain directories). With no pattern, ./... is
 // assumed. The exit status is 1 when any diagnostic is reported, so the
 // command slots directly into scripts/ci.sh between `go vet` and the
 // tests. Findings are suppressed site by site with
-// `//lint:ignore <checker> <reason>`.
+// `//lint:ignore <checker> <reason>`; the staleignore checker fails the
+// gate when a suppression no longer matches a live diagnostic.
+//
+// The wallclock kernel set is not a hand-maintained list: the suite
+// builds a CHA call graph over the loaded packages and computes the set
+// as everything reachable from the kernel entry surface — the module
+// facade plus the baseline partitioner and exchange APIs (-kernel prints
+// it). The taint checker walks the same graph to flag nondeterminism
+// sources hiding in helpers.
 package main
 
 import (
@@ -22,71 +31,42 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"paragon/internal/lint"
 )
 
-// kernelPackages are the refinement kernels of the wallclock contract:
-// pure functions of (graph, partitioning, seed). The baseline
-// partitioners (aragonlb, zoltan, mizan) are in the set too — their
-// refinement decisions are clock-free; the two Stats.Elapsed stopwatches
-// they keep at the driver boundary carry reasoned lint:ignore
-// suppressions. obs is in the set because the determinism contract now
-// covers serialized trace/metrics output: a wall-clock read anywhere in
-// the layer would break the byte-identity of trace files across worker
-// counts. Only the experiment/driver layers (cmd/*, internal/exp,
-// internal/bsp) stay outside.
-var kernelPackages = map[string]bool{
-	"paragon/internal/aragon":    true,
-	"paragon/internal/aragonlb":  true,
-	"paragon/internal/partition": true,
-	"paragon/internal/exchange":  true,
-	"paragon/internal/faultsim":  true,
-	"paragon/internal/graph":     true,
-	"paragon/internal/gen":       true,
-	"paragon/internal/metis":     true,
-	"paragon/internal/migrate":   true,
-	"paragon/internal/mizan":     true,
-	"paragon/internal/obs":       true,
-	"paragon/internal/paragon":   true,
-	"paragon/internal/zoltan":    true,
+// rootSurfaces are the kernel entry surfaces, as module-relative paths
+// ("" is the facade package at the module root). Exported functions of
+// these packages are the reachability roots: everything they can call is
+// kernel code and must be clock-free, ambient-rand-free, and
+// map-order-clean. The facade covers the refinement/partition/stream/
+// trace APIs; aragonlb, zoltan, and mizan are the baseline partitioners
+// driven directly by the experiment layer; exchange is the location
+// service driven by the same layer. Driver code (cmd/*, internal/exp)
+// stays outside the surface, so its wall-clock use never enters the set.
+var rootSurfaces = []string{
+	"",
+	"internal/aragonlb",
+	"internal/exchange",
+	"internal/mizan",
+	"internal/zoltan",
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the checkers and exit")
 	sel := flag.String("checkers", "", "comma-separated subset of checkers to run (default all)")
+	kernel := flag.Bool("kernel", false, "print the computed wallclock kernel package set and exit")
+	jsonOut := flag.String("json", "", "also write diagnostics as JSON to this file (\"-\" for stdout)")
+	sarifOut := flag.String("sarif", "", "also write diagnostics as SARIF 2.1.0 to this file")
 	flag.Parse()
 
-	checkers := []lint.Checker{
-		lint.MapRange{},
-		lint.GlobalRand{},
-		lint.WallClock{Kernel: func(path string) bool { return kernelPackages[path] }},
-		lint.LoopRace{},
-		lint.FloatSum{},
-	}
 	if *list {
-		for _, c := range checkers {
+		for _, c := range suite(nil, nil) {
 			fmt.Printf("%-11s %s\n", c.Name(), c.Doc())
 		}
 		return
-	}
-	if *sel != "" {
-		want := map[string]bool{}
-		for _, name := range strings.Split(*sel, ",") {
-			want[strings.TrimSpace(name)] = true
-		}
-		var subset []lint.Checker
-		for _, c := range checkers {
-			if want[c.Name()] {
-				subset = append(subset, c)
-			}
-		}
-		if len(subset) == 0 {
-			fmt.Fprintf(os.Stderr, "paragonlint: no checker matches %q\n", *sel)
-			os.Exit(2)
-		}
-		checkers = subset
 	}
 
 	patterns := flag.Args()
@@ -110,18 +90,149 @@ func main() {
 			fmt.Fprintf(os.Stderr, "paragonlint: type error (continuing): %v\n", terr)
 		}
 	}
-	diags := lint.Run(pkgs, checkers)
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+
+	// Interprocedural state: the call graph spans the checked packages
+	// plus every module-internal dependency the loader pulled in, and the
+	// root surfaces are force-loaded so a partial run (e.g. a single
+	// subdirectory) still computes the same kernel set as the full tree.
+	rootPaths := loadRootSurfaces(loader)
+	analysis := loader.AllLoaded()
+	graph := lint.BuildCallGraph(analysis)
+	roots := graph.ExportedRoots(rootPaths...)
+	kernelSet := graph.ReachablePackages(roots)
+	if *kernel {
+		var paths []string
+		for p := range kernelSet {
+			paths = append(paths, p)
 		}
-		fmt.Printf("%s: %s: %s\n", pos, d.Checker, d.Message)
+		// ReachablePackages returns a set; print it sorted.
+		sort.Strings(paths)
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+		return
+	}
+
+	checkers := suite(lint.NewTaint(graph, roots, pkgs, analysis), kernelSet)
+	if *sel != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*sel, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var subset []lint.Checker
+		for _, c := range checkers {
+			if want[c.Name()] {
+				subset = append(subset, c)
+			}
+		}
+		if len(subset) == 0 {
+			fmt.Fprintf(os.Stderr, "paragonlint: no checker matches %q\n", *sel)
+			os.Exit(2)
+		}
+		checkers = subset
+	}
+
+	diags := lint.Run(pkgs, checkers)
+	if *jsonOut != "" {
+		if err := writeArtifact(*jsonOut, func(w *os.File) error {
+			return lint.WriteJSON(w, cwd, diags)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *sarifOut != "" {
+		if err := writeArtifact(*sarifOut, func(w *os.File) error {
+			return lint.WriteSARIF(w, cwd, checkers, diags)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "-" {
+		for _, d := range diags {
+			pos := d.Pos
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+			fmt.Printf("%s: %s: %s\n", pos, d.Checker, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "paragonlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// suite assembles the full checker list. taint may be a zero-value
+// placeholder (for -list) and kernelSet nil (wallclock then reports
+// nothing — there is no kernel without a call graph).
+func suite(taint *lint.Taint, kernelSet map[string]bool) []lint.Checker {
+	if taint == nil {
+		taint = &lint.Taint{}
+	}
+	return []lint.Checker{
+		lint.MapRange{},
+		lint.GlobalRand{},
+		lint.WallClock{Kernel: func(path string) bool { return kernelSet[path] }},
+		lint.LoopRace{},
+		lint.FloatSum{},
+		lint.SharedWrite{},
+		lint.ReduceOrder{},
+		taint,
+		lint.StaleIgnore{},
+	}
+}
+
+// loadRootSurfaces ensures the kernel entry surfaces are part of the
+// loader's analysis set and returns their import paths. Surfaces missing
+// from the module (fixture trees) are skipped.
+func loadRootSurfaces(loader *lint.Loader) []string {
+	var paths []string
+	for _, rel := range rootSurfaces {
+		if _, err := loader.LoadDir(filepath.Join(moduleRootOf(loader), filepath.FromSlash(rel))); err != nil {
+			continue
+		}
+		if rel == "" {
+			paths = append(paths, loader.Module())
+		} else {
+			paths = append(paths, loader.Module()+"/"+rel)
+		}
+	}
+	return paths
+}
+
+// moduleRootOf recovers the module root directory from the loader. The
+// loader resolves any directory through the module root, so walking up
+// from the working directory repeats NewLoader's search.
+func moduleRootOf(loader *lint.Loader) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "."
+		}
+		dir = parent
+	}
+}
+
+func writeArtifact(path string, write func(*os.File) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

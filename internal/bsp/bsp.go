@@ -381,6 +381,7 @@ func (e *Engine) runRank(r int, prog Program, values []int64, activeNow []bool, 
 		}
 		sentBefore := oc.scanned
 		newVal, stayActive := prog.Compute(v, values[v], msgs, send)
+		//lint:ignore sharedwrite rank r owns every v in rankVerts[r]; concurrent ranks write disjoint vertex slots
 		values[v] = newVal
 		if prog.Contribute != nil {
 			c := prog.Contribute(v, newVal)
@@ -393,6 +394,7 @@ func (e *Engine) runRank(r int, prog Program, values []int64, activeNow []bool, 
 		if traffic != nil {
 			// Sent messages attributed to the computing vertex; receives
 			// are attributed at delivery (post-combining).
+			//lint:ignore sharedwrite rank r owns every v in rankVerts[r]; concurrent ranks write disjoint vertex slots
 			traffic[v] += oc.scanned - sentBefore
 		}
 		oc.computed++

@@ -181,8 +181,10 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 	}
 	var volume int64
 	var volMu sync.Mutex
-	var errMu sync.Mutex
-	var dropErrs []error
+	// Delivery failures land in per-server arena slots (the sharedwrite
+	// contract): each goroutine writes only its own index, and
+	// firstDeliveryError reduces the slice deterministically afterwards.
+	pushErrs := make([]error, len(servers))
 	// Phase 1: every server pushes its updates to the owning shards. The
 	// push batch is one message: a dropped batch never reaches a shard
 	// and is retried whole (idempotent — it re-writes the same values).
@@ -200,24 +202,24 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 			mx.retries.Add(int64(retries))
 			if err != nil {
 				mx.aborts.Inc()
-				errMu.Lock()
-				dropErrs = append(dropErrs, fmt.Errorf("exchange: push from server %d: %w", s.ID, err))
-				errMu.Unlock()
+				pushErrs[si] = fmt.Errorf("exchange: push from server %d: %w", s.ID, err)
 				return
 			}
 			for v, loc := range s.Updates {
 				sh := dir[shardOf(v)]
 				sh.mu.Lock()
 				if old, dup := sh.locs[v]; dup && old != loc {
+					//lint:ignore sharedwrite append order is interleaving-dependent but the conflict set is sorted and deduplicated before reporting
 					sh.conflicts = append(sh.conflicts, v)
 				}
+				//lint:ignore sharedwrite per-key last-write-wins under the shard mutex; disagreeing writers are caught by the conflict check above
 				sh.locs[v] = loc
 				sh.mu.Unlock()
 			}
 		}(si, s)
 	}
 	wg.Wait()
-	if err := firstDeliveryError(dropErrs); err != nil {
+	if err := firstDeliveryError(pushErrs); err != nil {
 		return volume, err
 	}
 	// Surface conflicts deterministically: lowest vertex id wins the
@@ -238,6 +240,7 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 	}
 	// Phase 2: every server pulls the locations it needs; the pull batch
 	// (requests + replies) is one retryable message.
+	pullErrs := make([]error, len(servers))
 	for si, s := range servers {
 		wg.Add(1)
 		go func(si int, s *Server) {
@@ -257,9 +260,7 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 			mx.retries.Add(int64(retries))
 			if err != nil {
 				mx.aborts.Inc()
-				errMu.Lock()
-				dropErrs = append(dropErrs, fmt.Errorf("exchange: pull by server %d: %w", s.ID, err))
-				errMu.Unlock()
+				pullErrs[si] = fmt.Errorf("exchange: pull by server %d: %w", s.ID, err)
 				return
 			}
 			for _, v := range s.Needs {
@@ -277,7 +278,7 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 		}(si, s)
 	}
 	wg.Wait()
-	if err := firstDeliveryError(dropErrs); err != nil {
+	if err := firstDeliveryError(pullErrs); err != nil {
 		return volume, err
 	}
 	// The directory only refreshes pulled vertices; apply each server's
@@ -293,13 +294,15 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 // firstDeliveryError picks the deterministic representative of a set of
 // concurrent delivery failures: the lexicographically first message (each
 // embeds its server id), so the reported error is stable run to run.
+// Nil slots — servers whose delivery succeeded — are skipped, so the
+// argument can be a sparsely filled per-server arena.
 func firstDeliveryError(errs []error) error {
-	if len(errs) == 0 {
-		return nil
-	}
-	best := errs[0]
-	for _, e := range errs[1:] {
-		if e.Error() < best.Error() {
+	var best error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if best == nil || e.Error() < best.Error() {
 			best = e
 		}
 	}

@@ -214,3 +214,36 @@ func TestFaultyExchangeDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// Regression for the sharedwrite fix that moved delivery failures from a
+// mutex-guarded shared append into per-server arena slots: when several
+// servers exhaust their retry budget in the same Propagate, the surfaced
+// error must be the same representative on every run (the
+// lexicographically smallest message, here the lowest failing server id),
+// independent of goroutine completion order.
+func TestMultiFailureDeterministicError(t *testing.T) {
+	run := func() string {
+		servers, _ := buildScenario(100, 6, 5, 2)
+		var script []faultsim.Event
+		for _, idx := range []int{1, 3, 4} {
+			for attempt := 0; attempt <= faultsim.DefaultPolicy().MaxRetries; attempt++ {
+				script = append(script, faultsim.Event{Kind: faultsim.KindDrop, Round: 0, Index: idx, Attempt: attempt})
+			}
+		}
+		fab := faultsim.NewInjector(faultsim.Config{Script: script})
+		_, err := Directory{Fabric: fab}.Propagate(servers)
+		if !errors.Is(err, ErrExchangeFailed) {
+			t.Fatalf("err = %v, want ErrExchangeFailed", err)
+		}
+		return err.Error()
+	}
+	first := run()
+	if !strings.Contains(first, "push from server 1") {
+		t.Fatalf("representative error = %q, want the server-1 push failure", first)
+	}
+	for i := 0; i < 20; i++ {
+		if got := run(); got != first {
+			t.Fatalf("error varies across runs: %q vs %q", got, first)
+		}
+	}
+}

@@ -19,12 +19,20 @@ import (
 
 type ignoreEntry struct {
 	checkers []string // lower-case checker names, or ["all"]
+	pos      token.Position
+	// used flips when the directive actually suppresses a finding; the
+	// staleignore checker reports directives that never do.
+	used bool
 }
 
 type ignoreSet struct {
-	// byLine maps filename -> line -> directives on that line.
-	byLine    map[string]map[int][]ignoreEntry
+	// byLine maps filename -> line -> directives on that line. Entries are
+	// pointers so suppression can record usage.
+	byLine    map[string]map[int][]*ignoreEntry
 	malformed []Diagnostic
+	// entries holds every directive in collection order, for the
+	// staleness sweep.
+	entries []*ignoreEntry
 }
 
 const ignorePrefix = "//lint:ignore"
@@ -33,7 +41,7 @@ const ignorePrefix = "//lint:ignore"
 // directives. known holds the valid checker names; a directive naming an
 // unknown checker is reported as malformed rather than silently inert.
 func collectIgnores(pkg *Package, known map[string]bool) *ignoreSet {
-	ig := &ignoreSet{byLine: map[string]map[int][]ignoreEntry{}}
+	ig := &ignoreSet{byLine: map[string]map[int][]*ignoreEntry{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -74,10 +82,12 @@ func collectIgnores(pkg *Package, known map[string]bool) *ignoreSet {
 				}
 				lines := ig.byLine[pos.Filename]
 				if lines == nil {
-					lines = map[int][]ignoreEntry{}
+					lines = map[int][]*ignoreEntry{}
 					ig.byLine[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], ignoreEntry{checkers: checkers})
+				e := &ignoreEntry{checkers: checkers, pos: pos}
+				lines[pos.Line] = append(lines[pos.Line], e)
+				ig.entries = append(ig.entries, e)
 			}
 		}
 	}
@@ -85,7 +95,8 @@ func collectIgnores(pkg *Package, known map[string]bool) *ignoreSet {
 }
 
 // suppresses reports whether a directive on the diagnostic's line, or on
-// the line directly above it, covers the named checker.
+// the line directly above it, covers the named checker. A matching
+// directive is marked used for the staleness sweep.
 func (ig *ignoreSet) suppresses(checker string, pos token.Position) bool {
 	lines := ig.byLine[pos.Filename]
 	if lines == nil {
@@ -95,10 +106,44 @@ func (ig *ignoreSet) suppresses(checker string, pos token.Position) bool {
 		for _, e := range lines[line] {
 			for _, name := range e.checkers {
 				if name == "all" || name == checker {
+					e.used = true
 					return true
 				}
 			}
 		}
 	}
 	return false
+}
+
+// StaleIgnore keeps the suppression inventory honest: every
+// //lint:ignore directive must still silence a live diagnostic. A
+// directive that matches nothing is dead weight — the code it excused
+// was fixed or deleted, and leaving it in place would silently swallow
+// the next real finding on that line. The runner performs the sweep
+// itself (Check is empty) because staleness is only known after every
+// other checker has run against the package's suppression state.
+type StaleIgnore struct{}
+
+func (StaleIgnore) Name() string { return "staleignore" }
+func (StaleIgnore) Doc() string {
+	return "every //lint:ignore directive must match a live diagnostic"
+}
+func (StaleIgnore) Check(*Package) []Diagnostic { return nil }
+
+// stale reports the directives never consulted by a suppression match.
+// collectIgnores already rejected directives naming inactive checkers,
+// so every surviving entry was judgeable by the active suite.
+func (ig *ignoreSet) stale() []Diagnostic {
+	var out []Diagnostic
+	for _, e := range ig.entries {
+		if e.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     e.pos,
+			Checker: "staleignore",
+			Message: "stale //lint:ignore " + strings.Join(e.checkers, ",") + ": no live diagnostic at this site",
+		})
+	}
+	return out
 }

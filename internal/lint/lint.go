@@ -84,6 +84,16 @@ func Run(pkgs []*Package, checkers []Checker) []Diagnostic {
 				out = append(out, d)
 			}
 		}
+		// The staleness sweep runs last: only after every checker has
+		// consulted the suppression state is "never used" meaningful.
+		if known["staleignore"] {
+			for _, d := range ig.stale() {
+				if ig.suppresses("staleignore", d.Pos) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

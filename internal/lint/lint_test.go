@@ -12,9 +12,28 @@ import (
 var update = flag.Bool("update", false, "rewrite testdata expect.txt golden files")
 
 // fixtureCheckers is the full suite with permissive scope predicates:
-// fixture packages are always "deterministic" and always "kernel".
-func fixtureCheckers() []Checker {
-	return []Checker{MapRange{}, GlobalRand{}, WallClock{}, LoopRace{}, FloatSum{}}
+// fixture packages are always "deterministic" and always "kernel". The
+// interprocedural state (call graph, taint) is built per fixture: the
+// checked package's exported functions are the kernel roots, and the
+// analysis set adds whatever helper packages the fixture imported from
+// beneath its own directory (the crosspkg case).
+func fixtureCheckers(loader *Loader, pkg *Package) []Checker {
+	taint := &Taint{}
+	if pkg != nil {
+		analysis := []*Package{pkg}
+		for _, p := range loader.AllLoaded() {
+			if strings.HasPrefix(p.Path, pkg.Path+"/") {
+				analysis = append(analysis, p)
+			}
+		}
+		graph := BuildCallGraph(analysis)
+		roots := graph.ExportedRoots(pkg.Path)
+		taint = NewTaint(graph, roots, []*Package{pkg}, analysis)
+	}
+	return []Checker{
+		MapRange{}, GlobalRand{}, WallClock{}, LoopRace{}, FloatSum{},
+		SharedWrite{}, ReduceOrder{}, taint, StaleIgnore{},
+	}
 }
 
 // TestFixtures loads every fixture package under testdata and compares
@@ -69,7 +88,7 @@ func TestFixtures(t *testing.T) {
 				for _, terr := range pkg.TypeErrors {
 					t.Errorf("fixture does not type-check: %v", terr)
 				}
-				diags := Run([]*Package{pkg}, fixtureCheckers())
+				diags := Run([]*Package{pkg}, fixtureCheckers(loader, pkg))
 				var lines []string
 				for _, d := range diags {
 					// The suppress fixture goldens everything (framework
@@ -103,7 +122,7 @@ func TestFixtures(t *testing.T) {
 			})
 		}
 	}
-	if ran < 10 {
+	if ran < 19 {
 		t.Fatalf("only %d fixture cases ran; expected the full testdata tree", ran)
 	}
 }
@@ -116,9 +135,13 @@ func TestHitFixturesReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, c := range fixtureCheckers() {
+	names := []string{
+		"maprange", "globalrand", "wallclock", "looprace", "floatsum",
+		"sharedwrite", "reduceorder", "taint", "staleignore",
+	}
+	for _, name := range names {
 		for _, kind := range []string{"hits", "clean"} {
-			dir := filepath.Join("testdata", c.Name(), kind)
+			dir := filepath.Join("testdata", name, kind)
 			pkg, err := loader.LoadDir(dir)
 			if err != nil {
 				t.Fatalf("%s: %v", dir, err)
@@ -126,16 +149,16 @@ func TestHitFixturesReport(t *testing.T) {
 			// Run the full suite so directives naming sibling checkers
 			// resolve, but count only this checker's findings.
 			count := 0
-			for _, d := range Run([]*Package{pkg}, fixtureCheckers()) {
-				if d.Checker == c.Name() {
+			for _, d := range Run([]*Package{pkg}, fixtureCheckers(loader, pkg)) {
+				if d.Checker == name {
 					count++
 				}
 			}
 			if kind == "hits" && count == 0 {
-				t.Errorf("%s: checker %s found nothing in its hits fixture", dir, c.Name())
+				t.Errorf("%s: checker %s found nothing in its hits fixture", dir, name)
 			}
 			if kind == "clean" && count != 0 {
-				t.Errorf("%s: checker %s reported %d findings in its clean fixture", dir, c.Name(), count)
+				t.Errorf("%s: checker %s reported %d findings in its clean fixture", dir, name, count)
 			}
 		}
 	}

@@ -74,6 +74,22 @@ func NewLoader(dir string) (*Loader, error) {
 // Module returns the module path of the loaded tree.
 func (l *Loader) Module() string { return l.module }
 
+// AllLoaded returns every package the loader has parsed so far — the
+// requested packages plus the module-internal dependencies pulled in to
+// type-check them — sorted by import path. Interprocedural checkers
+// build their call graph over this set, so taint can follow a kernel
+// call into a helper package even when only the kernel is being checked.
+func (l *Loader) AllLoaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // Load resolves patterns relative to dir and returns the matched
 // packages in deterministic (import path) order. Supported patterns:
 // "./..." and "dir/..." recursive forms, plus plain directory paths.

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Machine-readable diagnostic output for CI artifacts: a compact JSON
+// form for scripting, and SARIF 2.1.0 so code-review tooling can ingest
+// the paragonlint gate directly. Both serializations are deterministic —
+// diagnostics arrive sorted from Run, rules are emitted in sorted name
+// order, and field order is fixed by the struct definitions.
+
+// jsonDiagnostic is one finding in -json output.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+}
+
+// WriteJSON writes diagnostics as a JSON object {"count": N,
+// "diagnostics": [...]}. File paths are made relative to root (with
+// forward slashes) when possible.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	payload := struct {
+		Count       int              `json:"count"`
+		Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	}{Count: len(diags), Diagnostics: []jsonDiagnostic{}}
+	for _, d := range diags {
+		payload.Diagnostics = append(payload.Diagnostics, jsonDiagnostic{
+			File:    relPath(root, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Checker: d.Checker,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
+}
+
+// SARIF 2.1.0 skeleton — only the fields consumers actually read.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF writes diagnostics as a single-run SARIF 2.1.0 log. The
+// rule table is built from the checker suite (sorted by name) plus the
+// framework's own "lint" rule for malformed directives.
+func WriteSARIF(w io.Writer, root string, checkers []Checker, diags []Diagnostic) error {
+	rules := []sarifRule{{
+		ID:               "lint",
+		ShortDescription: sarifMessage{Text: "framework diagnostics (malformed //lint:ignore directives)"},
+	}}
+	for _, c := range checkers {
+		rules = append(rules, sarifRule{
+			ID:               c.Name(),
+			ShortDescription: sarifMessage{Text: c.Doc()},
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := []sarifResult{}
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Checker,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relPath(root, d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "paragonlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// relPath renders filename relative to root with forward slashes, or
+// unchanged when it is not under root.
+func relPath(root, filename string) string {
+	if root == "" {
+		return filepath.ToSlash(filename)
+	}
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,33 @@
+// Package reduceorderclean is the shard-order reduction convention:
+// partials land in slots keyed by their shard id, and the fold walks
+// the slice front to back — the same order at every worker count.
+package reduceorderclean
+
+type part struct {
+	shard int
+	val   float64
+}
+
+// Sum receives into indexed slots, then folds serially.
+func Sum(parts chan part, n int) float64 {
+	partials := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p := <-parts
+		partials[p.shard] = p.val
+	}
+	var sum float64
+	for _, v := range partials {
+		sum += v
+	}
+	return sum
+}
+
+// Count shows the integer escape: completion-order integer folds are
+// exact and associative, so they are fine.
+func Count(sizes chan int, n int) int {
+	var count int
+	for i := 0; i < n; i++ {
+		count += <-sizes
+	}
+	return count
+}

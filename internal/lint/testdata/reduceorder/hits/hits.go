@@ -1,0 +1,17 @@
+// Package reduceorderhits folds goroutine partials in completion order:
+// float addition is not associative, so the sum depends on which worker
+// finishes first.
+package reduceorderhits
+
+// Sum collects partials straight off the channel.
+func Sum(parts chan float64, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += <-parts // completion-order fold
+	}
+	var total float64
+	for p := range parts {
+		total += p // same fold, spelled as a collector loop
+	}
+	return sum + total
+}

@@ -1,0 +1,27 @@
+// Package sharedwritehits violates the parallel-commit contract: the
+// spawned workers write captured state that is neither a per-worker
+// arena slot nor a guarded commutative counter.
+package sharedwritehits
+
+import "sync"
+
+// Fan fans out over workers that write shared state directly.
+func Fan(vals []float64, n int) float64 {
+	out := make([]float64, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0.0
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[0] = vals[w]  // fixed index: every worker writes slot 0
+			total += vals[w]  // unguarded captured accumulator
+			mu.Lock()
+			total += vals[w] // guarded, but float: completion order still leaks
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return total + out[0]
+}

@@ -1,0 +1,12 @@
+// Package staleignoreclean carries a live suppression: wallclock fires
+// on the line below and is silenced, so the directive is in use and the
+// staleness sweep stays quiet.
+package staleignoreclean
+
+import "time"
+
+// Stamp is an audited boundary stopwatch.
+func Stamp() int64 {
+	//lint:ignore wallclock fixture exercises a live suppression
+	return time.Now().UnixNano()
+}

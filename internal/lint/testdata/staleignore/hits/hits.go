@@ -1,0 +1,7 @@
+// Package staleignorehits carries a suppression whose diagnostic is
+// gone: the clock read it once excused was removed, so the directive is
+// dead weight that would silently swallow the next real finding here.
+package staleignorehits
+
+//lint:ignore wallclock the stopwatch this excused was deleted
+func Stamp() int64 { return 1 }

@@ -1,0 +1,22 @@
+// Package taintclean holds the negative cases: a clock read in dead
+// code no kernel entry reaches, and an audited escape whose directive
+// stops taint from seeding.
+package taintclean
+
+import "time"
+
+// Entry's helper chain is clock-free.
+func Entry() int { return helper() }
+
+func helper() int { return 42 }
+
+// unreachable is neither exported nor called: its clock read is outside
+// the reachability closure and must not taint anything.
+func unreachable() int64 { return time.Now().UnixNano() }
+
+// Audited is reachable, but the reasoned directive makes the source an
+// audited escape — taint seeds nothing from it.
+func Audited() int64 {
+	//lint:ignore wallclock fixture documents an audited boundary stopwatch
+	return time.Now().UnixNano()
+}

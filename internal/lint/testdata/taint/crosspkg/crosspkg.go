@@ -1,0 +1,10 @@
+// Package crosspkg exercises cross-package taint: the clock read lives
+// in an imported helper package outside the checked set, so the finding
+// is reported at the frontier — the call site where nondeterminism
+// enters this package.
+package crosspkg
+
+import "paragon/internal/lint/testdata/taint/crosspkg/helpers"
+
+// Entry calls into the helper package; the clock read is two calls away.
+func Entry() int64 { return helpers.Stamp() }

@@ -1,0 +1,10 @@
+// Package helpers is the dependency of the crosspkg taint fixture; it
+// is loaded for the call graph but not itself checked.
+package helpers
+
+import "time"
+
+// Stamp hides a clock read behind one more call.
+func Stamp() int64 { return tick() }
+
+func tick() int64 { return time.Now().UnixNano() }

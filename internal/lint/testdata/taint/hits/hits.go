@@ -1,0 +1,14 @@
+// Package tainthits exercises interprocedural taint: the clock read
+// hides two unexported helpers below the exported kernel surface, where
+// the per-function wallclock checker's kernel predicate cannot see the
+// connection.
+package tainthits
+
+import "time"
+
+// Entry is the kernel entry point reachability starts from.
+func Entry() int64 { return helper() }
+
+func helper() int64 { return stamp() }
+
+func stamp() int64 { return time.Now().UnixNano() }

@@ -11,7 +11,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go build ./cmd/paragonlint && ./paragonlint ./...
+
+# Determinism linter: built into a temp dir (never the repo root), run
+# with the SARIF artifact for CI consumers. The gate fails on any
+# non-suppressed diagnostic, stale suppressions included — staleignore
+# reports every //lint:ignore that no longer matches a live finding.
+lintdir="$(mktemp -d)"
+trap 'rm -rf "$lintdir"' EXIT
+go build -o "$lintdir/paragonlint" ./cmd/paragonlint
+"$lintdir/paragonlint" -sarif paragonlint.sarif -json paragonlint.json ./...
+
 go build ./...
 go test -shuffle=on ./...
 go test -race -shuffle=on ./...
@@ -32,7 +41,7 @@ go test -race ./internal/obs/
 # observability half of the determinism contract, checked through the
 # real CLI, not just the unit test.
 obsdir="$(mktemp -d)"
-trap 'rm -rf "$obsdir"' EXIT
+trap 'rm -rf "$lintdir" "$obsdir"' EXIT
 go build -o "$obsdir/paragon" ./cmd/paragon
 go run ./cmd/gengraph -rmat -n 5000 -m 30000 -seed 13 -o "$obsdir/g.metis" > /dev/null
 for w in 1 8; do
