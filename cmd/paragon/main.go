@@ -33,6 +33,16 @@
 // of long refinements:
 //
 //	paragon -in graph.metis -trace run.jsonl -metrics run.prom -summary
+//
+// The serving layer (DESIGN.md §16): -dir-journal runs the refinement
+// against an epoch-versioned partition directory, writes the directory's
+// crash-safe epoch journal to the given path, and proves it by
+// recovering the journal and comparing the recovered assignment hash
+// against the live directory. -dir-bench additionally measures lookup
+// throughput while a publisher keeps flipping epochs underneath the
+// readers:
+//
+//	paragon -in graph.metis -dir-journal dir.journal -dir-bench
 package main
 
 import (
@@ -44,7 +54,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"paragon/internal/dir"
 	"paragon/internal/graph"
 	"paragon/internal/metis"
 	"paragon/internal/obs"
@@ -79,6 +93,8 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write refinement metrics here (Prometheus text format, deterministic)")
 	summary := flag.Bool("summary", false, "print a per-phase metrics summary table after refinement")
 	pprofHTTP := flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the run")
+	dirJournal := flag.String("dir-journal", "", "serve the refinement through a partition directory and write its epoch journal here (recovery-verified)")
+	dirBench := flag.Bool("dir-bench", false, "benchmark directory lookup throughput under concurrent epoch flips")
 	flag.Parse()
 
 	if *pprofHTTP != "" {
@@ -214,11 +230,22 @@ func main() {
 		registry = obs.NewRegistry()
 	}
 
+	// The serving layer: every committed round becomes one directory
+	// epoch; the journal written at the end replays to the final state.
+	var directory *dir.Directory
+	if *dirJournal != "" || *dirBench {
+		var derr error
+		directory, derr = dir.New(p.Assign, p.K, dir.Options{Trace: tracer, Metrics: registry})
+		if derr != nil {
+			fatal(derr)
+		}
+	}
+
 	st, err := paragon.Refine(g, p, c, paragon.Config{
 		DRP: *drp, Workers: *workers, Shuffles: *shuffles, KHop: *khop,
 		Alpha: *alpha, MaxImbalance: *eps, Seed: *seed, NodeOf: nodeOf,
 		FaultRate: *faultRate, FaultSeed: *faultSeed,
-		Trace: tracer, Metrics: registry,
+		Trace: tracer, Metrics: registry, Directory: directory,
 	})
 	if err != nil {
 		fatal(err)
@@ -272,6 +299,31 @@ func main() {
 		fmt.Println()
 	}
 
+	if directory != nil {
+		fmt.Printf("directory:  %d epochs published (%d aborted), journal %d bytes, assignment hash %#x\n",
+			st.DirectoryEpochs, st.Faults.PublishAborts, len(directory.JournalBytes()), directory.Current().AssignHash())
+	}
+	if *dirJournal != "" {
+		j := directory.JournalBytes()
+		if err := os.WriteFile(*dirJournal, j, 0o644); err != nil {
+			fatal(err)
+		}
+		// Prove the journal: recover it and compare against the live
+		// directory, epoch and assignment hash both.
+		rec, err := dir.Recover(j, dir.Options{})
+		if err != nil {
+			fatal(fmt.Errorf("journal verification: %w", err))
+		}
+		if rec.Epoch() != directory.Epoch() || rec.Current().AssignHash() != directory.Current().AssignHash() {
+			fatal(fmt.Errorf("journal verification: recovered epoch %d hash %#x, live epoch %d hash %#x",
+				rec.Epoch(), rec.Current().AssignHash(), directory.Epoch(), directory.Current().AssignHash()))
+		}
+		fmt.Printf("wrote directory journal to %s (recovery verified at epoch %d)\n", *dirJournal, rec.Epoch())
+	}
+	if *dirBench {
+		benchDirectory(directory, g.NumVertices())
+	}
+
 	if *out != "" {
 		of, err := os.Create(*out)
 		if err != nil {
@@ -289,6 +341,67 @@ func main() {
 		}
 		fmt.Printf("wrote assignment to %s\n", *out)
 	}
+}
+
+// benchDirectory measures lookup throughput while a publisher flips
+// epochs underneath the readers: GOMAXPROCS reader goroutines hammer
+// Lookup for a fixed wall-clock window (driver code — the directory
+// itself never reads the wall clock) while one goroutine keeps
+// publishing small rotation epochs. Every observed epoch must be
+// monotone per reader, or the bench aborts.
+func benchDirectory(d *dir.Directory, n int32) {
+	const window = 500 * time.Millisecond
+	readers := runtime.GOMAXPROCS(0)
+	var stop atomic.Bool
+	var lookups, flips atomic.Int64
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			x := uint64(r)*0x9e3779b97f4a7c15 + 1
+			var count int64
+			lastEpoch := int64(-1)
+			for !stop.Load() {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				_, epoch := d.Lookup(int32(x % uint64(n)))
+				if epoch < lastEpoch {
+					torn.Add(1)
+					break
+				}
+				lastEpoch = epoch
+				count++
+			}
+			lookups.Add(count)
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		k := d.Current().K()
+		for !stop.Load() {
+			s := d.Current()
+			v := int32(flips.Load()) % n
+			from := s.Rank(v)
+			if _, err := d.Publish([]dir.Move{{Vertex: v, From: from, To: (from + 1) % k}}); err != nil {
+				fatal(err)
+			}
+			flips.Add(1)
+		}
+	}()
+	start := time.Now()
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if torn.Load() != 0 {
+		fatal(fmt.Errorf("dir-bench: %d epoch-order violations observed", torn.Load()))
+	}
+	fmt.Printf("dir-bench:  %.1fM lookups/s across %d readers, %d epoch flips in %s (final epoch %d)\n",
+		float64(lookups.Load())/elapsed.Seconds()/1e6, readers, flips.Load(), elapsed.Round(time.Millisecond), d.Epoch())
 }
 
 func fatal(err error) {

@@ -1,0 +1,111 @@
+package dir
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"paragon/internal/migrate"
+)
+
+// The serving-layer benchmark of scripts/bench_dir.sh: lookup throughput
+// under concurrent epoch flips. Environment:
+//
+//	PARAGON_DIR_WORKERS    reader goroutine count (default 1)
+//	PARAGON_DIR_N          vertex-id space (default 1<<20)
+//	PARAGON_DIR_FLIPS      epoch flips per op (default 256)
+//	PARAGON_DIR_HASH_FILE  append "workers=<w> hash=<h>" after the run;
+//	                       the script cross-checks the hash over all
+//	                       worker counts — the flip schedule is fixed, so
+//	                       the final assignment must be bit-identical
+//	                       whatever the reader concurrency.
+
+func dirEnvInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+// BenchmarkDirLookupFlip measures one contention window: a publisher
+// applies a fixed schedule of rotation epochs while every reader
+// performs a fixed number of lookups, each validated for epoch
+// monotonicity. One op = flips publishes + workers×lookupsPerReader
+// lookups, all overlapped.
+func BenchmarkDirLookupFlip(b *testing.B) {
+	const k = 64
+	workers := dirEnvInt("PARAGON_DIR_WORKERS", 1)
+	n := int32(dirEnvInt("PARAGON_DIR_N", 1<<20))
+	flips := dirEnvInt("PARAGON_DIR_FLIPS", 256)
+	const lookupsPerReader = 1 << 19
+
+	assign := testAssign(int(n), k, 42)
+	var finalHash uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, err := New(assign, k, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for r := 0; r < workers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				x := uint64(r)*0x9e3779b97f4a7c15 + 1
+				lastEpoch := int64(-1)
+				for j := 0; j < lookupsPerReader; j++ {
+					x ^= x << 13
+					x ^= x >> 7
+					x ^= x << 17
+					_, epoch := d.Lookup(int32(x % uint64(n)))
+					if epoch < lastEpoch {
+						errs[r] = fmt.Errorf("reader %d: epoch went backwards %d -> %d", r, lastEpoch, epoch)
+						return
+					}
+					lastEpoch = epoch
+				}
+			}(r)
+		}
+		// The fixed flip schedule: independent of reader concurrency, so
+		// the final assignment hash is identical at any worker count.
+		for f := 0; f < flips; f++ {
+			v := int32(f*977) % n
+			from := d.Current().Rank(v)
+			if _, err := d.Publish([]migrate.Move{{Vertex: v, From: from, To: (from + 1) % k}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		finalHash = d.Current().AssignHash()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	totalLookups := float64(b.N) * float64(workers) * lookupsPerReader
+	b.ReportMetric(totalLookups/b.Elapsed().Seconds(), "lookups/s")
+	b.ReportMetric(float64(b.N*flips)/b.Elapsed().Seconds(), "flips/s")
+
+	if path := os.Getenv("PARAGON_DIR_HASH_FILE"); path != "" {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		fmt.Fprintf(f, "workers=%d hash=%#x\n", workers, finalHash)
+	}
+}

@@ -43,6 +43,28 @@ import (
 // protocol violations (conflicting updates) with errors.Is.
 var ErrExchangeFailed = errors.New("message dropped beyond retry budget")
 
+// DeliveryError is the detailed form of ErrExchangeFailed the Directory
+// strategy returns: it names every server whose message exhausted the
+// retry budget in the failed phase, in ascending rank order regardless
+// of goroutine interleaving. Callers attributing a failed
+// directory-epoch publish (internal/dir) unwrap it with errors.As; it
+// still satisfies errors.Is(err, ErrExchangeFailed).
+type DeliveryError struct {
+	// Phase is the exchange phase that failed: "push" or "pull".
+	Phase string
+	// Servers holds the ranks whose delivery was abandoned beyond the
+	// retry budget, sorted ascending (deterministic lowest-rank-first).
+	Servers []int
+}
+
+// Error implements error.
+func (e *DeliveryError) Error() string {
+	return fmt.Sprintf("exchange: %s delivery abandoned for servers %v: %v", e.Phase, e.Servers, ErrExchangeFailed)
+}
+
+// Unwrap makes errors.Is(err, ErrExchangeFailed) hold.
+func (e *DeliveryError) Unwrap() error { return ErrExchangeFailed }
+
 // deliver attempts to send one message op under the fault fabric,
 // retrying with capped backoff until it is delivered or the retry budget
 // is exhausted. Each attempt (including lost ones — the bytes went out)
@@ -183,7 +205,7 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 	var volMu sync.Mutex
 	// Delivery failures land in per-server arena slots (the sharedwrite
 	// contract): each goroutine writes only its own index, and
-	// firstDeliveryError reduces the slice deterministically afterwards.
+	// deliveryError reduces the slice deterministically afterwards.
 	pushErrs := make([]error, len(servers))
 	// Phase 1: every server pushes its updates to the owning shards. The
 	// push batch is one message: a dropped batch never reaches a shard
@@ -219,7 +241,7 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 		}(si, s)
 	}
 	wg.Wait()
-	if err := firstDeliveryError(pushErrs); err != nil {
+	if err := deliveryError("push", servers, pushErrs); err != nil {
 		return volume, err
 	}
 	// Surface conflicts deterministically: lowest vertex id wins the
@@ -278,7 +300,7 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 		}(si, s)
 	}
 	wg.Wait()
-	if err := firstDeliveryError(pullErrs); err != nil {
+	if err := deliveryError("pull", servers, pullErrs); err != nil {
 		return volume, err
 	}
 	// The directory only refreshes pulled vertices; apply each server's
@@ -291,22 +313,25 @@ func (d Directory) Propagate(servers []*Server) (int64, error) {
 	return volume, nil
 }
 
-// firstDeliveryError picks the deterministic representative of a set of
-// concurrent delivery failures: the lexicographically first message (each
-// embeds its server id), so the reported error is stable run to run.
-// Nil slots — servers whose delivery succeeded — are skipped, so the
-// argument can be a sparsely filled per-server arena.
-func firstDeliveryError(errs []error) error {
-	var best error
-	for _, e := range errs {
-		if e == nil {
-			continue
-		}
-		if best == nil || e.Error() < best.Error() {
-			best = e
+// deliveryError reduces a per-server error arena (nil slots = delivered)
+// into the deterministic verdict of a phase: nil when every delivery
+// landed, otherwise a DeliveryError naming every exhausted server in
+// ascending rank order. The set — not a single representative — is what
+// makes a failed directory-epoch publish attributable: the caller sees
+// exactly which servers' batches died, however the goroutines
+// interleaved.
+func deliveryError(phase string, servers []*Server, errs []error) error {
+	var failed []int
+	for si, e := range errs {
+		if e != nil {
+			failed = append(failed, servers[si].ID)
 		}
 	}
-	return best
+	if len(failed) == 0 {
+		return nil
+	}
+	sort.Ints(failed)
+	return &DeliveryError{Phase: phase, Servers: failed}
 }
 
 // Region is the paper's adopted chunked-array strategy.
@@ -440,6 +465,51 @@ func (r Region) Propagate(servers []*Server) (int64, error) {
 		wg.Wait()
 	}
 	return volume, nil
+}
+
+// Update is one vertex ownership change — the unit of the epoch deltas
+// the partition directory (internal/dir) consumes.
+type Update struct {
+	Vertex int32
+	Rank   int32
+}
+
+// EpochDelta is the directory adapter: it merges every server's pending
+// Updates into one deterministic, vertex-sorted delta, the whole-epoch
+// write a partition-directory publish applies. Servers own disjoint
+// partitions, so their updates must be disjoint (duplicates that agree
+// are deduplicated); two servers moving the same vertex to different
+// ranks is a protocol violation reported against the lowest conflicting
+// vertex, like Propagate.
+func EpochDelta(servers []*Server) ([]Update, error) {
+	total := 0
+	for _, s := range servers {
+		total += len(s.Updates)
+	}
+	out := make([]Update, 0, total)
+	for _, s := range servers {
+		//lint:ignore maprange map order never reaches the result: the merged slice is sorted by (Vertex, Rank) below, before dedup or any caller observes it
+		for v, loc := range s.Updates {
+			out = append(out, Update{Vertex: v, Rank: loc})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Vertex != out[j].Vertex {
+			return out[i].Vertex < out[j].Vertex
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	uniq := out[:0]
+	for _, u := range out {
+		if len(uniq) > 0 && uniq[len(uniq)-1].Vertex == u.Vertex {
+			if uniq[len(uniq)-1].Rank != u.Rank {
+				return nil, fmt.Errorf("exchange: conflicting updates for vertex %d", u.Vertex)
+			}
+			continue
+		}
+		uniq = append(uniq, u)
+	}
+	return uniq, nil
 }
 
 // Consistent reports whether all servers hold identical location views.

@@ -2,6 +2,7 @@ package exchange
 
 import (
 	"errors"
+	"slices"
 	"strings"
 	"testing"
 
@@ -215,14 +216,14 @@ func TestFaultyExchangeDeterministic(t *testing.T) {
 	}
 }
 
-// Regression for the sharedwrite fix that moved delivery failures from a
-// mutex-guarded shared append into per-server arena slots: when several
-// servers exhaust their retry budget in the same Propagate, the surfaced
-// error must be the same representative on every run (the
-// lexicographically smallest message, here the lowest failing server id),
-// independent of goroutine completion order.
+// When several servers exhaust their retry budget in the same
+// Propagate, the error must name the full exhausted-server set in
+// ascending rank order — identically on every run, independent of
+// goroutine completion order — so a failed directory-epoch publish is
+// attributable to specific servers instead of an arbitrary
+// representative.
 func TestMultiFailureDeterministicError(t *testing.T) {
-	run := func() string {
+	run := func() error {
 		servers, _ := buildScenario(100, 6, 5, 2)
 		var script []faultsim.Event
 		for _, idx := range []int{1, 3, 4} {
@@ -235,15 +236,45 @@ func TestMultiFailureDeterministicError(t *testing.T) {
 		if !errors.Is(err, ErrExchangeFailed) {
 			t.Fatalf("err = %v, want ErrExchangeFailed", err)
 		}
-		return err.Error()
+		return err
 	}
 	first := run()
-	if !strings.Contains(first, "push from server 1") {
-		t.Fatalf("representative error = %q, want the server-1 push failure", first)
+	var det *DeliveryError
+	if !errors.As(first, &det) {
+		t.Fatalf("err = %T %v, want *DeliveryError", first, first)
+	}
+	if det.Phase != "push" {
+		t.Fatalf("failed phase = %q, want push", det.Phase)
+	}
+	if want := []int{1, 3, 4}; !slices.Equal(det.Servers, want) {
+		t.Fatalf("exhausted server set = %v, want %v", det.Servers, want)
+	}
+	if !strings.Contains(first.Error(), "[1 3 4]") {
+		t.Fatalf("error text %q does not list the server set", first.Error())
 	}
 	for i := 0; i < 20; i++ {
-		if got := run(); got != first {
-			t.Fatalf("error varies across runs: %q vs %q", got, first)
+		if got := run().Error(); got != first.Error() {
+			t.Fatalf("error varies across runs: %q vs %q", got, first.Error())
 		}
+	}
+}
+
+// Pull-phase budget exhaustion must be attributed the same way.
+func TestPullFailureAttributed(t *testing.T) {
+	servers, _ := buildScenario(100, 4, 5, 3)
+	var script []faultsim.Event
+	// Pull ops are offset by len(servers) in the Directory fault
+	// coordinates; exhaust server 2's pull batch.
+	for attempt := 0; attempt <= faultsim.DefaultPolicy().MaxRetries; attempt++ {
+		script = append(script, faultsim.Event{Kind: faultsim.KindDrop, Round: 0, Index: 4 + 2, Attempt: attempt})
+	}
+	fab := faultsim.NewInjector(faultsim.Config{Script: script})
+	_, err := Directory{Fabric: fab}.Propagate(servers)
+	var det *DeliveryError
+	if !errors.As(err, &det) {
+		t.Fatalf("err = %T %v, want *DeliveryError", err, err)
+	}
+	if det.Phase != "pull" || !slices.Equal(det.Servers, []int{2}) {
+		t.Fatalf("attribution = %q %v, want pull [2]", det.Phase, det.Servers)
 	}
 }

@@ -66,6 +66,62 @@ func NewPlan(old, now *partition.Partitioning) (*Plan, error) {
 	return p, nil
 }
 
+// AppendBinary appends the canonical little-endian wire form of the
+// plan to dst and returns dst: K, the move count, then one
+// (vertex, from, to) int32 triple per move in plan order. This is the
+// journal-record payload shape shared with the epoch-versioned partition
+// directory (internal/dir), whose crash recovery replays these records;
+// DecodePlan is its exact inverse.
+func (p *Plan) AppendBinary(dst []byte) []byte {
+	dst = appendInt32(dst, p.K)
+	dst = appendInt32(dst, int32(len(p.Moves)))
+	for _, m := range p.Moves {
+		dst = appendInt32(dst, m.Vertex)
+		dst = appendInt32(dst, m.From)
+		dst = appendInt32(dst, m.To)
+	}
+	return dst
+}
+
+// DecodePlan parses the AppendBinary wire form. It is strict: short
+// buffers, trailing bytes, and negative counts all fail, so a torn
+// journal record can never decode into a half-plan.
+func DecodePlan(data []byte) (*Plan, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("migrate: plan record truncated: %d bytes", len(data))
+	}
+	k := readInt32(data[0:])
+	n := readInt32(data[4:])
+	if k < 1 || n < 0 {
+		return nil, fmt.Errorf("migrate: plan record corrupt: k=%d moves=%d", k, n)
+	}
+	if want := 8 + int64(n)*12; int64(len(data)) != want {
+		return nil, fmt.Errorf("migrate: plan record is %d bytes, want %d for %d moves", len(data), want, n)
+	}
+	p := &Plan{K: k}
+	if n > 0 {
+		p.Moves = make([]Move, n)
+	}
+	for i := int32(0); i < n; i++ {
+		off := 8 + int(i)*12
+		p.Moves[i] = Move{
+			Vertex: readInt32(data[off:]),
+			From:   readInt32(data[off+4:]),
+			To:     readInt32(data[off+8:]),
+		}
+	}
+	return p, nil
+}
+
+func appendInt32(dst []byte, v int32) []byte {
+	u := uint32(v)
+	return append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+}
+
+func readInt32(b []byte) int32 {
+	return int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+}
+
 // SendsFrom returns the moves departing a rank.
 func (p *Plan) SendsFrom(rank int32) []Move {
 	var out []Move

@@ -7,7 +7,6 @@ import (
 	"testing/quick"
 
 	"paragon/internal/gen"
-	"paragon/internal/paragon"
 	"paragon/internal/partition"
 	"paragon/internal/stream"
 	"paragon/internal/topology"
@@ -70,49 +69,6 @@ func TestPlanCostMatchesMetric(t *testing.T) {
 	}
 	if plan.Volume(g) <= 0 {
 		t.Fatal("volume must be positive")
-	}
-}
-
-func TestExecuteMovesEverything(t *testing.T) {
-	g := gen.RMAT(800, 4000, 0.57, 0.19, 0.19, 2)
-	g.UseDegreeWeights()
-	old := stream.DG(g, 8, stream.DefaultOptions())
-	stores := BuildStores(g, old)
-	if err := Verify(stores, g, old); err != nil {
-		t.Fatalf("initial stores invalid: %v", err)
-	}
-	// Refine to get a real migration plan.
-	now := old.Clone()
-	if _, err := paragon.RefineUniform(g, now, paragon.Config{DRP: 4, Shuffles: 2, Seed: 3}); err != nil {
-		t.Fatal(err)
-	}
-	plan, err := NewPlan(old, now)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(plan.Moves) == 0 {
-		t.Skip("refinement made no moves at this seed")
-	}
-	st, err := Execute(stores, plan, AppContext{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := Verify(stores, g, now); err != nil {
-		t.Fatalf("post-migration stores invalid: %v", err)
-	}
-	if st.MovedVertices != int64(len(plan.Moves)) {
-		t.Fatalf("moved %d, plan had %d", st.MovedVertices, len(plan.Moves))
-	}
-	var sent, recv int64
-	for r := range st.PerRankSent {
-		sent += st.PerRankSent[r]
-		recv += st.PerRankRecv[r]
-	}
-	if sent != recv || sent != st.MovedVertices {
-		t.Fatalf("send/recv mismatch: %d %d %d", sent, recv, st.MovedVertices)
-	}
-	if st.MovedBytes <= 0 {
-		t.Fatal("moved bytes not accounted")
 	}
 }
 
@@ -243,5 +199,44 @@ func TestQuickExecuteRealizesTarget(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The binary wire form must round-trip exactly and reject every torn
+// prefix — the property the directory journal's crash recovery stands on.
+func TestPlanBinaryRoundTrip(t *testing.T) {
+	plans := []*Plan{
+		{K: 4},
+		{K: 7, Moves: []Move{{Vertex: 0, From: 1, To: 2}}},
+		{K: 128, Moves: []Move{
+			{Vertex: 5, From: 0, To: 3},
+			{Vertex: 9, From: 2, To: 1},
+			{Vertex: 1 << 20, From: 127, To: 0},
+		}},
+	}
+	for _, p := range plans {
+		enc := p.AppendBinary(nil)
+		got, err := DecodePlan(enc)
+		if err != nil {
+			t.Fatalf("DecodePlan: %v", err)
+		}
+		if got.K != p.K || len(got.Moves) != len(p.Moves) {
+			t.Fatalf("decoded shape (%d,%d), want (%d,%d)", got.K, len(got.Moves), p.K, len(p.Moves))
+		}
+		for i := range p.Moves {
+			if got.Moves[i] != p.Moves[i] {
+				t.Fatalf("move %d = %+v, want %+v", i, got.Moves[i], p.Moves[i])
+			}
+		}
+		// Every strict prefix is a torn record and must be rejected, as
+		// must trailing garbage.
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := DecodePlan(enc[:cut]); err == nil {
+				t.Fatalf("torn prefix of %d/%d bytes decoded", cut, len(enc))
+			}
+		}
+		if _, err := DecodePlan(append(append([]byte(nil), enc...), 0)); err == nil {
+			t.Fatal("trailing byte accepted")
+		}
 	}
 }

@@ -1,0 +1,57 @@
+// External test package: the refinement driver now depends on migrate
+// transitively (paragon → dir → migrate), so a test that drives a real
+// refinement to obtain its plan must live outside package migrate to
+// avoid an import cycle in the test binary.
+package migrate_test
+
+import (
+	"testing"
+
+	"paragon/internal/gen"
+	"paragon/internal/migrate"
+	"paragon/internal/paragon"
+	"paragon/internal/stream"
+)
+
+func TestExecuteMovesEverything(t *testing.T) {
+	g := gen.RMAT(800, 4000, 0.57, 0.19, 0.19, 2)
+	g.UseDegreeWeights()
+	old := stream.DG(g, 8, stream.DefaultOptions())
+	stores := migrate.BuildStores(g, old)
+	if err := migrate.Verify(stores, g, old); err != nil {
+		t.Fatalf("initial stores invalid: %v", err)
+	}
+	// Refine to get a real migration plan.
+	now := old.Clone()
+	if _, err := paragon.RefineUniform(g, now, paragon.Config{DRP: 4, Shuffles: 2, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := migrate.NewPlan(old, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) == 0 {
+		t.Skip("refinement made no moves at this seed")
+	}
+	st, err := migrate.Execute(stores, plan, migrate.AppContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := migrate.Verify(stores, g, now); err != nil {
+		t.Fatalf("post-migration stores invalid: %v", err)
+	}
+	if st.MovedVertices != int64(len(plan.Moves)) {
+		t.Fatalf("moved %d, plan had %d", st.MovedVertices, len(plan.Moves))
+	}
+	var sent, recv int64
+	for r := range st.PerRankSent {
+		sent += st.PerRankSent[r]
+		recv += st.PerRankRecv[r]
+	}
+	if sent != recv || sent != st.MovedVertices {
+		t.Fatalf("send/recv mismatch: %d %d %d", sent, recv, st.MovedVertices)
+	}
+	if st.MovedBytes <= 0 {
+		t.Fatal("moved bytes not accounted")
+	}
+}

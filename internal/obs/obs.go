@@ -97,6 +97,20 @@ const (
 	// KindRefineEnd closes a Refine call: N total kept moves, X total
 	// realized gain.
 	KindRefineEnd
+	// KindEpochPrepare reports a directory epoch publish whose prepare
+	// record reached the journal: N = target epoch, M = delta moves.
+	KindEpochPrepare
+	// KindEpochCommit reports a committed directory epoch flip: N = the
+	// now-live epoch, M = delta moves applied.
+	KindEpochCommit
+	// KindEpochAbort reports a failed directory epoch publish: N = the
+	// epoch that was being published, A = the phase that failed
+	// (0 prepare append, 1 publisher crash, 2 commit append), B = write
+	// attempts spent. The previous epoch stays live.
+	KindEpochAbort
+	// KindDirRecovered reports a directory rebuilt from its journal:
+	// N = last committed epoch recovered, M = torn tail bytes discarded.
+	KindDirRecovered
 
 	numKinds // sentinel; keep last
 )
@@ -119,6 +133,10 @@ var kindNames = [numKinds]string{
 	KindMigrationRollback: "migration_rollback",
 	KindMigrationSweep:    "migration_sweep",
 	KindRefineEnd:         "refine_end",
+	KindEpochPrepare:      "epoch_prepare",
+	KindEpochCommit:       "epoch_commit",
+	KindEpochAbort:        "epoch_abort",
+	KindDirRecovered:      "dir_recovered",
 }
 
 // String returns the snake_case event name used by the JSONL sink.

@@ -76,7 +76,8 @@ var phaseOrder = map[string]int{
 	"ship":     1,
 	"exchange": 2,
 	"migrate":  3,
-	"fault":    4,
+	"dir":      4,
+	"fault":    5,
 }
 
 // WriteSummary renders the registry as a human per-phase table: metrics

@@ -20,12 +20,14 @@
 package paragon
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"time"
 
 	"paragon/internal/aragon"
+	"paragon/internal/dir"
 	"paragon/internal/faultsim"
 	"paragon/internal/graph"
 	"paragon/internal/obs"
@@ -99,6 +101,15 @@ type Config struct {
 	// registry contents are identical for every Workers value. Nil
 	// disables the metrics layer at zero cost.
 	Metrics *obs.Registry
+	// Directory, when non-nil, is the epoch-versioned serving layer
+	// (internal/dir): after each committed refinement round the driver
+	// publishes the master assignment as one whole epoch, so concurrent
+	// lookups follow the refinement without ever observing a torn
+	// mapping. A publish killed by the directory's own fault fabric is
+	// counted in Faults.PublishAborts and the previous epoch stays live —
+	// the next round's publish diffs against the directory's snapshot and
+	// catches it up. Nil skips the serving layer entirely.
+	Directory *dir.Directory
 }
 
 // DefaultConfig returns the paper's evaluation defaults: drp = 8, eight
@@ -167,6 +178,7 @@ type Stats struct {
 
 	MigratedVertices int64         // vertices whose final owner changed
 	MigrationCost    float64       // Eq. 3 against the input decomposition
+	DirectoryEpochs  int           // epochs published to Config.Directory (one per committed round)
 	RefinementTime   time.Duration // wall clock of the whole refinement
 
 	Faults FaultStats // degraded-mode accounting (all zero without a fault fabric)
@@ -183,6 +195,7 @@ type FaultStats struct {
 	DegradedGroups  int   // total discarded group outcomes (crashes + straggler drops)
 	ExchangeRetries int   // region reduces retransmitted after a drop
 	ExchangeAborts  int   // reduces abandoned after the retry budget (ends shuffling)
+	PublishAborts   int   // directory epoch publishes killed by the directory's fault layer
 	BackoffTicks    int64 // virtual ticks spent backing off dropped reduces
 	VirtualTicks    int64 // total virtual time: per-round barriers plus backoff
 }
@@ -370,6 +383,21 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 		mx.moves.Add(int64(roundMoves))
 		if tr != nil {
 			tr.Emit(obs.Event{Kind: obs.KindRoundEnd, Round: int32(round), N: int64(roundMoves), X: roundGain})
+		}
+
+		// Serving-layer publish: the committed round becomes one whole
+		// directory epoch. The directory runs its own fault fabric; an
+		// aborted flip leaves the previous epoch live, and the diff of
+		// the next round's publish resynchronizes it.
+		if cfg.Directory != nil {
+			switch _, err := cfg.Directory.PublishAssign(p.Assign); {
+			case err == nil:
+				st.DirectoryEpochs++
+			case errors.Is(err, dir.ErrPublishFailed):
+				st.Faults.PublishAborts++
+			default:
+				return st, fmt.Errorf("paragon: directory publish after round %d: %w", round, err)
+			}
 		}
 
 		if round+1 < st.Rounds {

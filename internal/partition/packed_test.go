@@ -1,0 +1,85 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPackedRoundTrip(t *testing.T) {
+	for _, k := range []int32{1, 2, 3, 7, 8, 64, 100, 128, 1 << 20} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		n := int32(1000)
+		assign := make([]int32, n)
+		for v := range assign {
+			assign[v] = int32(rng.Intn(int(k)))
+		}
+		p := PackAssign(assign, k)
+		for v := int32(0); v < n; v++ {
+			if got := p.Get(v); got != assign[v] {
+				t.Fatalf("k=%d: Get(%d) = %d, want %d", k, v, got, assign[v])
+			}
+		}
+		back := p.AppendAssign(nil)
+		for v := range assign {
+			if back[v] != assign[v] {
+				t.Fatalf("k=%d: AppendAssign[%d] = %d, want %d", k, v, back[v], assign[v])
+			}
+		}
+	}
+}
+
+func TestPackedSetUpdates(t *testing.T) {
+	p := NewPacked(130, 100) // 7 bits/entry, 9 entries/word: exercises word crossings
+	p.Set(0, 99)
+	p.Set(1, 1)
+	p.Set(9, 42) // second word
+	p.Set(129, 7)
+	if p.Get(0) != 99 || p.Get(1) != 1 || p.Get(9) != 42 || p.Get(129) != 7 {
+		t.Fatalf("reads after writes wrong: %d %d %d %d", p.Get(0), p.Get(1), p.Get(9), p.Get(129))
+	}
+	p.Set(0, 0)
+	if p.Get(0) != 0 || p.Get(1) != 1 {
+		t.Fatal("overwrite clobbered a neighboring field")
+	}
+}
+
+func TestPackedHashAndClone(t *testing.T) {
+	a := PackAssign([]int32{0, 1, 2, 3, 2, 1, 0}, 4)
+	b := PackAssign([]int32{0, 1, 2, 3, 2, 1, 0}, 4)
+	if a.Hash64() != b.Hash64() {
+		t.Fatal("equal contents hash differently")
+	}
+	c := a.Clone()
+	c.Set(3, 0)
+	if a.Get(3) != 3 {
+		t.Fatal("Clone shares storage with its source")
+	}
+	if c.Hash64() == a.Hash64() {
+		t.Fatal("differing contents hash equal")
+	}
+	// Shape is part of the digest: same words, different n/k must differ.
+	d := PackAssign([]int32{0, 1, 2, 3, 2, 1, 0}, 5)
+	if d.Hash64() == a.Hash64() {
+		t.Fatal("k not folded into the hash")
+	}
+}
+
+func TestPackedPanics(t *testing.T) {
+	p := NewPacked(4, 4)
+	for _, fn := range []func(){
+		func() { p.Get(-1) },
+		func() { p.Get(4) },
+		func() { p.Set(0, 4) },
+		func() { p.Set(0, -1) },
+		func() { p.Set(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"paragon/internal/apps"
 	"paragon/internal/aragon"
 	"paragon/internal/bsp"
+	"paragon/internal/dir"
 	"paragon/internal/faultsim"
 	"paragon/internal/gen"
 	"paragon/internal/graph"
@@ -305,6 +306,49 @@ func ExecuteMigration(stores []*MigrationStore, plan *MigrationPlan, ctx Migrati
 // VerifyMigration checks that the stores exactly realize a decomposition.
 func VerifyMigration(stores []*MigrationStore, g *Graph, now *Partitioning) error {
 	return migrate.Verify(stores, g, now)
+}
+
+// ---- Partition directory (serving layer) ----
+
+// PartitionDirectory is the epoch-versioned serving layer: lock-free
+// vertex→rank lookups against immutable epoch snapshots, crash-safe
+// atomic epoch flips through a fault-injectable journal, and
+// deterministic journal recovery. Wire one into Config.Directory to have
+// Refine publish each committed round as an epoch.
+type PartitionDirectory = dir.Directory
+
+// DirectoryOptions tunes a PartitionDirectory (shard geometry, fault
+// fabric, virtual clock, observability).
+type DirectoryOptions = dir.Options
+
+// DirectorySnapshot is one immutable committed epoch of a directory.
+type DirectorySnapshot = dir.Snapshot
+
+// DirectoryResult is a pinned-epoch lookup answer, carrying the
+// stale-read forwarding hint.
+type DirectoryResult = dir.Result
+
+// ErrDirectoryPublishFailed marks an epoch publish abandoned by the
+// fault layer; the previous epoch stayed live. Detect with errors.Is.
+var ErrDirectoryPublishFailed = dir.ErrPublishFailed
+
+// ErrDirectoryFutureEpoch marks a lookup pinned past the live epoch.
+var ErrDirectoryFutureEpoch = dir.ErrFutureEpoch
+
+// ErrDirectoryJournalCorrupt marks a journal whose damage exceeds the
+// torn-tail model recovery absorbs.
+var ErrDirectoryJournalCorrupt = dir.ErrJournalCorrupt
+
+// NewPartitionDirectory builds a directory serving epoch 0 from a full
+// assignment vector (values in [0, k)).
+func NewPartitionDirectory(assign []int32, k int32, opts DirectoryOptions) (*PartitionDirectory, error) {
+	return dir.New(assign, k, opts)
+}
+
+// RecoverPartitionDirectory rebuilds a directory from journal bytes,
+// replaying to the last committed epoch and discarding any torn tail.
+func RecoverPartitionDirectory(journal []byte, opts DirectoryOptions) (*PartitionDirectory, error) {
+	return dir.Recover(journal, opts)
 }
 
 // ---- Execution simulator ----

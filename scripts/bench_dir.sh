@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Serving-layer pass (DESIGN.md §16): measures partition-directory lookup
+# throughput under concurrent epoch flips across reader counts and emits
+# BENCH_dir.json with ns/op, lookups/s, flips/s and allocs/op per point.
+# Each point runs in its own test process.
+#
+# The flip schedule is fixed (it never depends on reader concurrency), so
+# every worker count must end on the bit-identical assignment hash; the
+# hashes are cross-checked and the run aborts on divergence — the
+# lock-free read path is proven harmless, not assumed.
+#
+# Usage: scripts/bench_dir.sh [output.json]
+#   DIR_WORKERS="1"  DIR_N=65536 DIR_FLIPS=64 \
+#       scripts/bench_dir.sh /tmp/smoke.json   # ci.sh smoke config
+#   DIR_ITERS=3 scripts/bench_dir.sh           # more iterations
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_dir.json}"
+workers_list="${DIR_WORKERS:-1 2 4}"
+n="${DIR_N:-1048576}"
+flips="${DIR_FLIPS:-256}"
+iters="${DIR_ITERS:-1}"
+
+ncpu="$(getconf _NPROCESSORS_ONLN)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+go test -c -o "$tmpdir/dir.test" ./internal/dir/
+
+# run_bench WORKERS HASHFILE -> "ns_op allocs_op lookups_s flips_s"
+run_bench() {
+    PARAGON_DIR_WORKERS="$1" PARAGON_DIR_N="$n" PARAGON_DIR_FLIPS="$flips" \
+    PARAGON_DIR_HASH_FILE="$2" \
+    "$tmpdir/dir.test" -test.run '^$' -test.bench '^BenchmarkDirLookupFlip$' \
+        -test.benchtime "${iters}x" -test.benchmem \
+    | awk '/^Benchmark/ {
+        for (i = 3; i < NF; i += 2) u[$(i+1)] = $i
+        printf("%s %s %s %s\n", u["ns/op"], u["allocs/op"], u["lookups/s"], u["flips/s"])
+        found = 1
+      }
+      END { if (!found) exit 1 }'
+}
+
+points="$tmpdir/points"   # lines: label ns_op allocs_op lookups_s flips_s
+: > "$points"
+hashfile="$tmpdir/hash.txt"
+: > "$hashfile"
+
+for w in $workers_list; do
+    echo "bench_dir: lookup-under-flip n=$n flips=$flips workers=$w..." >&2
+    read -r nsop allocs lps fps < <(run_bench "$w" "$hashfile")
+    echo "lookupflip/workers=$w $nsop $allocs $lps $fps" >> "$points"
+done
+
+# Bit-identity across reader counts: one distinct final hash, or die.
+nh="$(awk '{ print $2 }' "$hashfile" | sort -u | wc -l)"
+if [ "$nh" -ne 1 ]; then
+    echo "bench_dir: FATAL: $nh distinct assignment hashes across worker counts:" >&2
+    cat "$hashfile" >&2
+    exit 1
+fi
+awk '{ sub(/^hash=/, "", $2); print "hash", $2; exit }' "$hashfile" >> "$points"
+
+awk -v out="$out" -v iters="$iters" -v ncpu="$ncpu" -v n="$n" -v flips="$flips" '
+{ kind = $1 }
+kind ~ /^lookupflip\// {
+    ns[kind] = $2; allocs[kind] = $3; lps[kind] = $4; fps[kind] = $5; order[cnt++] = kind
+}
+kind == "hash" { hash = $2 }
+END {
+    if (cnt == 0) { print "bench_dir.sh: no points" > "/dev/stderr"; exit 1 }
+    printf("{\n")                                                     > out
+    printf("  \"benchtime\": \"%sx per point, one process per point\",\n", iters) > out
+    printf("  \"workload\": \"n=%s vertex directory (k=64, packed shards), %s rotation epoch flips concurrent with 2^19 lookups per reader; every lookup validated for epoch monotonicity\",\n", n, flips) > out
+    printf("  \"hardware\": { \"online_cpus\": %s },\n", ncpu)        > out
+    printf("  \"note\": \"every reader count ended on the recorded assignment hash — the flip schedule is reader-independent and the cross-check is enforced by the harness, not assumed.\",\n") > out
+    printf("  \"assign_hash\": \"%s\",\n", hash)                      > out
+    printf("  \"points\": {\n")                                       > out
+    for (i = 0; i < cnt; i++) {
+        p = order[i]
+        printf("    \"%s\": { \"ns_op\": %s, \"allocs_op\": %s, \"lookups_per_s\": %s, \"flips_per_s\": %s }%s\n",
+               p, ns[p], allocs[p], lps[p], fps[p], (i < cnt - 1) ? "," : "") > out
+    }
+    printf("  }\n}\n")                                                > out
+}
+' "$points"
+
+echo "bench_dir: wrote $out"

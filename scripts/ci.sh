@@ -36,6 +36,17 @@ go test -race -cpu=1,4 ./internal/paragon/
 # worker pool by design (DESIGN.md §13).
 go test -race ./internal/obs/
 
+# Serving layer under the race detector at GOMAXPROCS 1 and 4: the
+# partition directory's lock-free lookups race epoch flips by design
+# (DESIGN.md §16); the stress test asserts no torn (vertex, rank, epoch)
+# triple at either extreme.
+go test -race -cpu=1,4 ./internal/dir/
+
+# The directory must sit inside paragonlint's computed kernel set (the
+# facade re-exports pull it in) — if it ever drops out, the wallclock/
+# sharedwrite/reduceorder checkers silently stop covering it.
+"$lintdir/paragonlint" -kernel | grep -q '^paragon/internal/dir$'
+
 # Obs determinism end to end: the same seeded faulty run at -workers 1
 # and 8 must serialize byte-identical trace and metrics files — the
 # observability half of the determinism contract, checked through the
@@ -64,5 +75,12 @@ go test -bench=. -benchtime=1x -run='^$' ./... > /dev/null
 SCALE_NS="100000" SCALE_WORKERS="1 2" SCALE_TENM=0 \
     scripts/bench_scale.sh "$obsdir/scale_smoke.json" > /dev/null
 grep -q '"refine/n=100000/workers=2"' "$obsdir/scale_smoke.json"
+
+# Serving-layer harness smoke: bench_dir.sh end to end (env-driven bench
+# processes, reader-count hash cross-check, JSON assembly) at a small
+# directory — wiring rot fails here, not in a measurement session.
+DIR_WORKERS="1 2" DIR_N=65536 DIR_FLIPS=64 \
+    scripts/bench_dir.sh "$obsdir/dir_smoke.json" > /dev/null
+grep -q '"lookupflip/workers=2"' "$obsdir/dir_smoke.json"
 
 echo "ci: all green"
