@@ -64,6 +64,7 @@ import (
 	"paragon/internal/obs"
 	"paragon/internal/paragon"
 	"paragon/internal/partition"
+	"paragon/internal/portfolio"
 	"paragon/internal/stream"
 	"paragon/internal/topology"
 )
@@ -85,6 +86,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "refinement seed")
 	faultRate := flag.Float64("fault-rate", 0, "per-fault-point probability of injected faults (0 disables)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault injector")
+	portfolioSize := flag.Int("portfolio", 0, "portfolio members: race this many seeded refinements on the worker pool and keep the best (0 = plain refinement)")
+	portfolioCombine := flag.Int("portfolio-combine", 2, "overlay the top members with the combine operator (< 2 disables)")
 	out := flag.String("out", "", "write the final vertex->partition assignment here")
 	topo := flag.Bool("topo", false, "print the modeled cluster topology and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here (pprof format)")
@@ -241,28 +244,72 @@ func main() {
 		}
 	}
 
-	st, err := paragon.Refine(g, p, c, paragon.Config{
-		DRP: *drp, Workers: *workers, Shuffles: *shuffles, KHop: *khop,
-		Alpha: *alpha, MaxImbalance: *eps, Seed: *seed, NodeOf: nodeOf,
-		FaultRate: *faultRate, FaultSeed: *faultSeed,
-		Trace: tracer, Metrics: registry, Directory: directory,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	report("refined", partition.Evaluate(g, p, c, *alpha))
-	fmt.Printf("refinement: master=%d drp=%d rounds=%d pairs=%d moves=%d gain=%.0f time=%s\n",
-		st.Master, st.DRP, st.Rounds, st.PairsRefined, st.Moves, st.Gain, st.RefinementTime.Round(0))
-	fmt.Printf("migration:  %d vertices, cost %.0f (%.1f%% of graph)\n",
-		st.MigratedVertices, st.MigrationCost,
-		100*float64(st.MigratedVertices)/float64(g.NumVertices()))
-	fmt.Printf("volume:     shipped %d boundary vertices (%d half-edges), %d exchange bytes\n",
-		st.BoundaryShipped, st.ShippedEdgeVolume, st.LocationExchangeBytes)
-	if *faultRate > 0 {
-		fmt.Printf("faults:     %d crashed groups, %d straggler drops, %d degraded; %d exchange retries, %d aborts; %d virtual ticks (%d backoff)\n",
-			st.Faults.CrashedGroups, st.Faults.StragglerDrops, st.Faults.DegradedGroups,
-			st.Faults.ExchangeRetries, st.Faults.ExchangeAborts,
-			st.Faults.VirtualTicks, st.Faults.BackoffTicks)
+	var dirEpochs int
+	var pubAborts int
+	if *portfolioSize > 0 {
+		pst, err := portfolio.Refine(g, p, c, paragon.Config{
+			DRP: *drp, Workers: *workers, Shuffles: *shuffles, KHop: *khop,
+			Alpha: *alpha, MaxImbalance: *eps, Seed: *seed,
+			FaultRate: *faultRate, FaultSeed: *faultSeed,
+			Trace: tracer, Metrics: registry,
+			Portfolio: paragon.PortfolioConfig{Size: *portfolioSize, CombineTop: *portfolioCombine},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		report("refined", partition.Evaluate(g, p, c, *alpha))
+		fmt.Printf("portfolio:  %d members (%d forfeited), winner %d, wall %s, member cpu %s\n",
+			pst.Size, pst.Forfeits, pst.Winner, pst.WallTime.Round(0), pst.CPUTime.Round(0))
+		for m, ms := range pst.Members {
+			mark := " "
+			if m == pst.Winner {
+				mark = "*"
+			}
+			if ms.Forfeited {
+				fmt.Printf("  member %2d%s seed %-20d forfeited\n", m, mark, ms.Seed)
+				continue
+			}
+			fmt.Printf("  member %2d%s seed %-20d cost %-14.0f cut %-10d skew %.4f moves %d\n",
+				m, mark, ms.Seed, ms.Score.Cost(), ms.Score.EdgeCut, ms.Score.Skewness, ms.Moves)
+		}
+		if pst.RunnerUp >= 0 {
+			fmt.Printf("combine:    members %d+%d, diff %d vertices, %d moves, gain %.0f, applied=%v\n",
+				pst.Winner, pst.RunnerUp, pst.CombineDiff, pst.CombineMoves, pst.CombineGain, pst.CombineApplied)
+		}
+		fmt.Printf("selected:   cost %.0f (input %.0f)\n", pst.SelectedScore.Cost(), pst.InputScore.Cost())
+		// The portfolio commits no per-round epochs — members race on
+		// private scratch — so flip the directory once to the selection.
+		if directory != nil && pst.Winner >= 0 {
+			if _, err := directory.PublishAssign(p.Assign); err != nil {
+				fatal(err)
+			}
+			dirEpochs = 1
+		}
+	} else {
+		st, err := paragon.Refine(g, p, c, paragon.Config{
+			DRP: *drp, Workers: *workers, Shuffles: *shuffles, KHop: *khop,
+			Alpha: *alpha, MaxImbalance: *eps, Seed: *seed, NodeOf: nodeOf,
+			FaultRate: *faultRate, FaultSeed: *faultSeed,
+			Trace: tracer, Metrics: registry, Directory: directory,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		dirEpochs, pubAborts = st.DirectoryEpochs, st.Faults.PublishAborts
+		report("refined", partition.Evaluate(g, p, c, *alpha))
+		fmt.Printf("refinement: master=%d drp=%d rounds=%d pairs=%d moves=%d gain=%.0f time=%s\n",
+			st.Master, st.DRP, st.Rounds, st.PairsRefined, st.Moves, st.Gain, st.RefinementTime.Round(0))
+		fmt.Printf("migration:  %d vertices, cost %.0f (%.1f%% of graph)\n",
+			st.MigratedVertices, st.MigrationCost,
+			100*float64(st.MigratedVertices)/float64(g.NumVertices()))
+		fmt.Printf("volume:     shipped %d boundary vertices (%d half-edges), %d exchange bytes\n",
+			st.BoundaryShipped, st.ShippedEdgeVolume, st.LocationExchangeBytes)
+		if *faultRate > 0 {
+			fmt.Printf("faults:     %d crashed groups, %d straggler drops, %d degraded; %d exchange retries, %d aborts; %d virtual ticks (%d backoff)\n",
+				st.Faults.CrashedGroups, st.Faults.StragglerDrops, st.Faults.DegradedGroups,
+				st.Faults.ExchangeRetries, st.Faults.ExchangeAborts,
+				st.Faults.VirtualTicks, st.Faults.BackoffTicks)
+		}
 	}
 
 	if tracer != nil {
@@ -301,7 +348,7 @@ func main() {
 
 	if directory != nil {
 		fmt.Printf("directory:  %d epochs published (%d aborted), journal %d bytes, assignment hash %#x\n",
-			st.DirectoryEpochs, st.Faults.PublishAborts, len(directory.JournalBytes()), directory.Current().AssignHash())
+			dirEpochs, pubAborts, len(directory.JournalBytes()), directory.Current().AssignHash())
 	}
 	if *dirJournal != "" {
 		j := directory.JournalBytes()

@@ -111,6 +111,23 @@ const (
 	// KindDirRecovered reports a directory rebuilt from its journal:
 	// N = last committed epoch recovered, M = torn tail bytes discarded.
 	KindDirRecovered
+	// KindPortfolioStart opens a portfolio refinement: N = member count,
+	// M = combine width (top members the combine operator overlays).
+	KindPortfolioStart
+	// KindMemberForfeit reports a portfolio member excluded by the fault
+	// fabric before running: A = member id.
+	KindMemberForfeit
+	// KindMemberRefined reports a completed portfolio member: A = member
+	// id, N = kept moves, X = the member's Eq. 2+3 selection cost.
+	KindMemberRefined
+	// KindPortfolioCombine reports the combine operator's overlay pass:
+	// N = disagreement vertices between the two best members, M = moves
+	// kept by the boundary-restricted rounds, X = the combined cost.
+	KindPortfolioCombine
+	// KindPortfolioSelect closes a portfolio refinement: A = winning
+	// member id (-1 if every member forfeited), B = 1 if the combined
+	// decomposition beat the winner (0 otherwise), X = the selected cost.
+	KindPortfolioSelect
 
 	numKinds // sentinel; keep last
 )
@@ -137,6 +154,11 @@ var kindNames = [numKinds]string{
 	KindEpochCommit:       "epoch_commit",
 	KindEpochAbort:        "epoch_abort",
 	KindDirRecovered:      "dir_recovered",
+	KindPortfolioStart:    "portfolio_start",
+	KindMemberForfeit:     "member_forfeit",
+	KindMemberRefined:     "member_refined",
+	KindPortfolioCombine:  "portfolio_combine",
+	KindPortfolioSelect:   "portfolio_select",
 }
 
 // String returns the snake_case event name used by the JSONL sink.

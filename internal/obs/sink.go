@@ -72,12 +72,13 @@ func WriteProm(w io.Writer, r *Registry) error {
 // phaseOrder fixes the row-group order of the summary table; phases not
 // listed here sort alphabetically after the known ones.
 var phaseOrder = map[string]int{
-	"refine":   0,
-	"ship":     1,
-	"exchange": 2,
-	"migrate":  3,
-	"dir":      4,
-	"fault":    5,
+	"refine":    0,
+	"ship":      1,
+	"exchange":  2,
+	"migrate":   3,
+	"dir":       4,
+	"fault":     5,
+	"portfolio": 6,
 }
 
 // WriteSummary renders the registry as a human per-phase table: metrics

@@ -107,16 +107,27 @@ func SelectGroupServers(groups [][]int32, ps []int64, c [][]float64, nodeOf []in
 	return servers
 }
 
-// shuffleGroups performs one shuffle-refinement swap: each group hands a
+// ShuffleGroups performs one shuffle-refinement swap: each group hands a
 // random partition to a randomly paired partner group and receives one
 // back, expanding the set of partition pairs the next round can refine.
 // Groups of size ≤ 2 still swap (sizes are preserved by the exchange).
-func shuffleGroups(groups [][]int32, rng *rand.Rand, round int) {
+// Exported because portfolio members run the same shuffle discipline over
+// their own groupings.
+func ShuffleGroups(groups [][]int32, rng *rand.Rand, round int) {
+	ShuffleGroupsScratch(groups, rng, round, nil)
+}
+
+// ShuffleGroupsScratch is ShuffleGroups with a caller-owned permutation
+// scratch (grown as needed and returned), so per-round callers — the
+// portfolio members in particular, whose allocs/op must stay flat in the
+// member count — allocate nothing in steady state. The draw sequence is
+// identical to ShuffleGroups for any scratch.
+func ShuffleGroupsScratch(groups [][]int32, rng *rand.Rand, round int, scratch []int) []int {
 	m := len(groups)
 	if m < 2 {
-		return
+		return scratch
 	}
-	order := rng.Perm(m)
+	order := permInto(rng, m, scratch)
 	for i := 0; i+1 < m; i += 2 {
 		a, b := order[i], order[i+1]
 		ai := rng.Intn(len(groups[a]))
@@ -132,4 +143,23 @@ func shuffleGroups(groups [][]int32, rng *rand.Rand, round int) {
 		oi := rng.Intn(len(groups[other]))
 		groups[last][li], groups[other][oi] = groups[other][oi], groups[last][li]
 	}
+	return order
+}
+
+// permInto reproduces rand.Perm's exact draw sequence (inside-out
+// Fisher-Yates, one Intn(i+1) per i in [0, n) — the i = 0 draw is a
+// no-op swap but still consumes from the source) into a reused buffer,
+// so ShuffleGroupsScratch emits the same permutation stream as the
+// allocating form — pinned by TestShuffleGroupsScratchMatchesPerm.
+func permInto(rng *rand.Rand, n int, dst []int) []int {
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		dst[i] = dst[j]
+		dst[j] = i
+	}
+	return dst
 }

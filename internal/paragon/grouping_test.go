@@ -104,7 +104,7 @@ func TestSelectGroupServersStrictImprovementStillWins(t *testing.T) {
 }
 
 func TestShuffleGroupsProperties(t *testing.T) {
-	// shuffleGroups must permute partitions between groups without ever
+	// ShuffleGroups must permute partitions between groups without ever
 	// duplicating or dropping one, and without changing any group's size —
 	// for even and odd group counts (the odd path has an extra rotation).
 	for _, m := range []int{2, 3, 4, 5, 7} {
@@ -117,7 +117,7 @@ func TestShuffleGroupsProperties(t *testing.T) {
 				sizes[gi] = len(grp)
 			}
 			for round := 0; round < 8; round++ {
-				shuffleGroups(groups, rng, round)
+				ShuffleGroups(groups, rng, round)
 				var flat []int32
 				for gi, grp := range groups {
 					if len(grp) != sizes[gi] {
@@ -135,6 +135,50 @@ func TestShuffleGroupsProperties(t *testing.T) {
 						t.Fatalf("m=%d seed=%d round=%d: partition %d missing or duplicated (flat[%d]=%d)",
 							m, seed, round, i, i, v)
 					}
+				}
+			}
+		}
+	}
+}
+
+// TestShuffleGroupsScratchMatchesPerm pins the draw-sequence equivalence
+// of permInto and rand.Perm: the scratch form of ShuffleGroups must
+// consume the rng stream identically to the allocating form, or every
+// seeded run downstream of a shuffle (golden hashes included) drifts.
+func TestShuffleGroupsScratchMatchesPerm(t *testing.T) {
+	for n := 0; n <= 17; n++ {
+		a := rand.New(rand.NewSource(int64(100 + n)))
+		b := rand.New(rand.NewSource(int64(100 + n)))
+		want := a.Perm(n)
+		got := permInto(b, n, make([]int, 3))
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: length %d, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: permInto %v, rand.Perm %v", n, got, want)
+			}
+		}
+		// Both sources must be left in the same state.
+		if a.Int63() != b.Int63() {
+			t.Fatalf("n=%d: permInto consumed a different number of draws than rand.Perm", n)
+		}
+	}
+	// And the two shuffle entry points must transform groups identically.
+	mk := func() [][]int32 {
+		return [][]int32{{0, 5}, {1, 6, 9}, {2, 7}, {3, 8}, {4}}
+	}
+	g1, g2 := mk(), mk()
+	r1 := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(42))
+	var scratch []int
+	for round := 0; round < 6; round++ {
+		ShuffleGroups(g1, r1, round)
+		scratch = ShuffleGroupsScratch(g2, r2, round, scratch)
+		for gi := range g1 {
+			for i := range g1[gi] {
+				if g1[gi][i] != g2[gi][i] {
+					t.Fatalf("round %d: shuffle divergence at group %d: %v vs %v", round, gi, g1[gi], g2[gi])
 				}
 			}
 		}

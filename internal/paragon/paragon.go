@@ -101,6 +101,12 @@ type Config struct {
 	// registry contents are identical for every Workers value. Nil
 	// disables the metrics layer at zero cost.
 	Metrics *obs.Registry
+	// Portfolio sizes the seeded-ensemble layer (internal/portfolio):
+	// Size independent refinements raced on the worker pool, the best
+	// selected by partition.Score's total order, the top CombineTop
+	// overlaid by the combine operator. Consumed only by the portfolio
+	// driver — plain Refine ignores it.
+	Portfolio PortfolioConfig
 	// Directory, when non-nil, is the epoch-versioned serving layer
 	// (internal/dir): after each committed refinement round the driver
 	// publishes the master assignment as one whole epoch, so concurrent
@@ -116,6 +122,46 @@ type Config struct {
 // shuffle rounds, k-hop 0, α = 10, 2% imbalance.
 func DefaultConfig() Config {
 	return Config{DRP: 8, Shuffles: 8, Alpha: 10, MaxImbalance: 0.02, BadMoveLimit: 64}
+}
+
+// PortfolioConfig tunes the portfolio driver. It lives here (not in
+// internal/portfolio, which imports this package) so Config can embed it.
+type PortfolioConfig struct {
+	// Size is the number of portfolio members P: independent seeded
+	// refinements of the same input, raced to completion with no
+	// cross-member barriers. 0 or negative picks 4.
+	Size int
+	// CombineTop is how many of the best members the combine operator
+	// overlays; the overlay is currently pairwise, so any value >= 2
+	// combines the top two and values < 2 disable combining. Default 2.
+	CombineTop int
+	// CombineRounds bounds the boundary-restricted re-refinement rounds
+	// over the disagreement region of the overlay (default 2; each round
+	// stops early when no move is kept).
+	CombineRounds int
+}
+
+func (pc PortfolioConfig) withDefaults() PortfolioConfig {
+	if pc.Size <= 0 {
+		pc.Size = 4
+	}
+	if pc.CombineTop == 0 {
+		pc.CombineTop = 2
+	}
+	if pc.CombineRounds <= 0 {
+		pc.CombineRounds = 2
+	}
+	return pc
+}
+
+// WithDefaults returns the config with the paper's defaults filled in
+// and DRP clamped for k partitions — the normalization Refine applies on
+// entry, exported for the portfolio driver, which must see the same
+// effective settings its members run under.
+func (c Config) WithDefaults(k int32) Config {
+	c = c.withDefaults(k)
+	c.Portfolio = c.Portfolio.withDefaults()
+	return c
 }
 
 func (c Config) withDefaults(k int32) Config {
@@ -150,7 +196,10 @@ func (c Config) withDefaults(k int32) Config {
 	return c
 }
 
-func (c Config) aragonConfig() aragon.Config {
+// AragonConfig projects the pairwise-refiner settings out of the driver
+// config — shared by the scheduler's workers and the portfolio members,
+// so both refine under identical Eq. 5 gain rules.
+func (c Config) AragonConfig() aragon.Config {
 	return aragon.Config{
 		Alpha:        c.Alpha,
 		MaxImbalance: c.MaxImbalance,
@@ -452,7 +501,7 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 				st.Rounds = round + 1
 				break
 			}
-			shuffleGroups(groups, rng, round)
+			ShuffleGroups(groups, rng, round)
 		}
 	}
 	st.Faults.VirtualTicks = clk.Now()

@@ -112,7 +112,7 @@ func TestShuffleGroupsPreservesPartitions(t *testing.T) {
 		sizes[i] = len(g)
 	}
 	for round := 0; round < 5; round++ {
-		shuffleGroups(groups, rng, round)
+		ShuffleGroups(groups, rng, round)
 	}
 	seen := map[int32]bool{}
 	for i, g := range groups {

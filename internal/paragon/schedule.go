@@ -138,7 +138,8 @@ type scheduler struct {
 	ebufs []obs.Buf
 
 	tasks   []pairTask
-	waves   []int32 // wave t = tasks[waves[t]:waves[t+1]]
+	pairbuf [][2]int32 // scratch for AppendTournamentRound
+	waves   []int32    // wave t = tasks[waves[t]:waves[t+1]]
 	spans   []taskSpan
 	results []aragon.Result
 	live    []int32 // surviving group indices this round, ascending
@@ -155,11 +156,11 @@ type scheduler struct {
 	bmask    *partition.Bitset
 	kmask    *partition.Bitset // lazily allocated, k-hop > 0 only
 	maskInit bool
-	dirty    []int32 // moved vertices + neighbors since the last mask refresh
+	dirty    []int32           // moved vertices + neighbors since the last mask refresh
 	diff     *partition.Bitset // v set iff pm.Assign[v] != orig[v]
-	boundary []int32 // AppendSet scratch for the k-hop path
-	frontier []int32 // ExpandFrontier scratch for the k-hop path
-	serverOf []int32 // partition -> group server, set by the caller
+	boundary []int32           // AppendSet scratch for the k-hop path
+	frontier []int32           // ExpandFrontier scratch for the k-hop path
+	serverOf []int32           // partition -> group server, set by the caller
 
 	shipVerts []int64
 	shipEdges []int64
@@ -209,7 +210,7 @@ func newScheduler(g *graph.Graph, pm *partition.Partitioning, ix *partition.Inde
 	sc.shadow = partition.NewShadow(sc.cur, n)
 	sc.shadow.Reset(ix)
 	sc.profile = partition.BuildNeighborProfile(g, sc.frozen, pm.K)
-	acfg := cfg.aragonConfig()
+	acfg := cfg.AragonConfig()
 	for i := 0; i < w; i++ {
 		r := aragon.NewRefiner(g, sc.shadow, acfg)
 		r.SetFrozen(sc.frozen)
@@ -296,17 +297,30 @@ func (sc *scheduler) buildSchedule(groups [][]int32) {
 	}
 }
 
-// appendWavePairs appends tournament round t of one group: the circle
-// method over M = m (+1 if odd, a bye) slots. Slot M−1 is fixed and
-// plays slot t; slot (t+i) mod (M−1) plays slot (t−i) mod (M−1). Pairs
-// within one round are pairwise disjoint — the disjointness the wave
-// barrier relies on.
+// appendWavePairs appends tournament round t of one group to the task
+// list, via the shared circle-schedule generator and a reused pair
+// scratch.
 func (sc *scheduler) appendWavePairs(group []int32, t int) {
+	sc.pairbuf = AppendTournamentRound(sc.pairbuf[:0], group, t)
+	for _, pr := range sc.pairbuf {
+		sc.tasks = append(sc.tasks, pairTask{pr[0], pr[1]})
+	}
+}
+
+// AppendTournamentRound appends round t of the circle tournament over
+// group to dst and returns dst: the circle method over M = m (+1 if odd,
+// a bye) slots. Slot M−1 is fixed and plays slot t; slot (t+i) mod (M−1)
+// plays slot (t−i) mod (M−1). Pairs within one round are pairwise
+// disjoint — the disjointness the scheduler's wave barrier relies on —
+// and each pair is emitted ascending (pi < pj). Rounds t in
+// [0, m + (m&1) − 1) cover every pair of the group exactly once.
+// Exported because portfolio members replay the same schedule serially.
+func AppendTournamentRound(dst [][2]int32, group []int32, t int) [][2]int32 {
 	m := len(group)
 	mm := m + (m & 1)
 	rounds := mm - 1
 	if t >= rounds {
-		return
+		return dst
 	}
 	pair := func(a, b int) {
 		if a >= m || b >= m {
@@ -316,12 +330,13 @@ func (sc *scheduler) appendWavePairs(group []int32, t int) {
 		if pi > pj {
 			pi, pj = pj, pi
 		}
-		sc.tasks = append(sc.tasks, pairTask{pi, pj})
+		dst = append(dst, [2]int32{pi, pj})
 	}
 	pair(mm-1, t%rounds)
 	for i := 1; i < mm/2; i++ {
 		pair((t+i)%rounds, (t-i+rounds)%rounds)
 	}
+	return dst
 }
 
 // runRound executes the current schedule against the live shadow: wave

@@ -1,0 +1,53 @@
+package paragon
+
+import (
+	"math"
+	"testing"
+
+	"paragon/internal/gen"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+// TestScoreMatchesRefineStats regression-tests the shared scorer against
+// the values Refine reports: the Eq. 3 migration cost of the refined
+// decomposition must agree with Stats.MigrationCost. Refine's migration
+// sweep reduces in fixed shard order (DESIGN.md §12) while ComputeScore
+// folds flat in vertex order — both are deterministic, but they
+// associate float additions differently, so the comparison allows
+// relative rounding slack (not behavioral slack: 1e-9, far below any
+// real divergence).
+func TestScoreMatchesRefineStats(t *testing.T) {
+	g := gen.RMAT(4000, 24000, 0.57, 0.19, 0.19, 3)
+	g.UseDegreeWeights()
+	cl := topology.PittCluster(2)
+	const k = 24
+	c, err := cl.PartitionCostMatrix(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := stream.DG(g, k, stream.DefaultOptions())
+	orig := p.Clone()
+	cfg := Config{DRP: 4, Shuffles: 2, Seed: 21}
+	st, err := Refine(g, p, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Moves == 0 {
+		t.Fatal("fixture too weak: no moves, migration cost trivially zero")
+	}
+	s := partition.ComputeScore(g, p, orig.Assign, c, cfg.WithDefaults(k).Alpha)
+	if s.MigrationCost == 0 {
+		t.Fatal("scorer saw no migration despite kept moves")
+	}
+	if rel := math.Abs(s.MigrationCost-st.MigrationCost) / st.MigrationCost; rel > 1e-9 {
+		t.Fatalf("scorer MigrationCost %v vs Stats.MigrationCost %v (rel %g)", s.MigrationCost, st.MigrationCost, rel)
+	}
+	// The quality triple must be exactly what Evaluate reports — both
+	// route through the same one-pass scorer.
+	q := partition.Evaluate(g, p, c, cfg.WithDefaults(k).Alpha)
+	if q.EdgeCut != s.EdgeCut || q.CommCost != s.CommCost || q.Skewness != s.Skewness {
+		t.Fatalf("Evaluate %+v diverges from ComputeScore %+v", q, s)
+	}
+}

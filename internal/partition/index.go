@@ -80,20 +80,35 @@ func BuildIndex(g *graph.Graph, p *Partitioning) *Index {
 	for q := range ix.buckets {
 		ix.buckets[q] = make([]int32, 0, bucketCap(cnt[q]))
 	}
+	ix.Rebuild()
+	return ix
+}
+
+// Rebuild re-derives every maintained structure from the current
+// p.Assign in O(|V| + |E|), reusing all backing arrays (bucket capacity
+// only ever grows). It is how a pooled member scratch of the portfolio
+// layer re-seeds an Index after overwriting Assign wholesale — cheaper
+// than BuildIndex by all the allocations, and valid for the same (g, p)
+// the index was built over.
+func (ix *Index) Rebuild() {
+	for q := range ix.buckets {
+		ix.buckets[q] = ix.buckets[q][:0]
+		ix.incident[q] = 0
+	}
+	n := ix.g.NumVertices()
 	for v := int32(0); v < n; v++ {
-		pv := p.Assign[v]
+		pv := ix.p.Assign[v]
 		ix.pos[v] = int32(len(ix.buckets[pv]))
 		ix.buckets[pv] = append(ix.buckets[pv], v)
-		ix.incident[pv] += int64(g.Degree(v))
+		ix.incident[pv] += int64(ix.g.Degree(v))
 		var ext int32
-		for _, u := range g.Neighbors(v) {
-			if p.Assign[u] != pv {
+		for _, u := range ix.g.Neighbors(v) {
+			if ix.p.Assign[u] != pv {
 				ext++
 			}
 		}
 		ix.ext[v] = ext
 	}
-	return ix
 }
 
 // bucketCap adds headroom for refinement moves on top of a bucket's

@@ -251,11 +251,14 @@ type Quality struct {
 	Skewness float64
 }
 
-// Evaluate computes all quality metrics in one pass-friendly call.
+// Evaluate computes all quality metrics in one sweep via the shared
+// scorer; the values are bitwise identical to the standalone metric
+// functions (see ComputeScore).
 func Evaluate(g *graph.Graph, p *Partitioning, c [][]float64, alpha float64) Quality {
+	s := ComputeScore(g, p, nil, c, alpha)
 	return Quality{
-		EdgeCut:  EdgeCut(g, p),
-		CommCost: CommCost(g, p, c, alpha),
-		Skewness: Skewness(g, p),
+		EdgeCut:  s.EdgeCut,
+		CommCost: s.CommCost,
+		Skewness: s.Skewness,
 	}
 }

@@ -1,0 +1,36 @@
+package portfolio
+
+import "paragon/internal/obs"
+
+// portfolioMetrics resolves every registry handle the portfolio driver
+// touches, once per call — the same pre-resolved-handles pattern as the
+// refinement driver's refineMetrics. With a nil registry the zero
+// value's nil handles make every operation a no-op (obs metrics are
+// nil-safe). All commits happen on the coordinator after the join, in
+// member-id order, so registry contents never depend on Workers.
+type portfolioMetrics struct {
+	members        *obs.Counter
+	forfeits       *obs.Counter
+	memberMoves    *obs.Histogram
+	combineDiff    *obs.Counter
+	combineMoves   *obs.Counter
+	combineApplied *obs.Counter
+	winner         *obs.Gauge
+	selectedCost   *obs.Gauge
+}
+
+func newPortfolioMetrics(r *obs.Registry) portfolioMetrics {
+	if r == nil {
+		return portfolioMetrics{}
+	}
+	return portfolioMetrics{
+		members:        r.Counter("portfolio_members_total", "portfolio members configured (forfeits included)"),
+		forfeits:       r.Counter("portfolio_forfeits_total", "members excluded by the fault fabric before running"),
+		memberMoves:    r.Histogram("portfolio_member_moves", "kept moves per surviving member", obs.PowersOfTwoBounds(20)),
+		combineDiff:    r.Counter("portfolio_combine_diff_vertices_total", "vertices the two best members disagreed on"),
+		combineMoves:   r.Counter("portfolio_combine_moves_total", "moves kept by the combine operator's restricted rounds"),
+		combineApplied: r.Counter("portfolio_combine_applied_total", "combine overlays that beat the best member and were selected"),
+		winner:         r.Gauge("portfolio_winner", "selected member id of the last run (-1 if all forfeited)"),
+		selectedCost:   r.Gauge("portfolio_selected_cost", "Eq. 2+3 cost of the selected decomposition"),
+	}
+}

@@ -1,0 +1,243 @@
+package portfolio
+
+import (
+	"math/rand"
+
+	"paragon/internal/aragon"
+	"paragon/internal/graph"
+	"paragon/internal/paragon"
+	"paragon/internal/partition"
+)
+
+// memberScratch is everything one portfolio member needs to refine: a
+// private Partitioning + Index + Refiner over the shared frozen graph,
+// a seeded rng, and every per-round buffer, all reused across members.
+// A scratch carries no member identity — run fully re-seeds it from the
+// (assignment, seed) of whichever member it executes — which is what
+// makes the member-id-keyed free list (member m runs on slot m mod
+// workers) a pure scheduling choice with no effect on any member's
+// output.
+type memberScratch struct {
+	g   *graph.Graph
+	p   *partition.Partitioning
+	ix  *partition.Index
+	ref *aragon.Refiner
+	src rand.Source
+	rng *rand.Rand
+
+	loads    []int64   // live per-partition weights during refinement
+	perm     []int32   // grouping permutation scratch
+	flat     []int32   // backing array for the grouping's member lists
+	groups   [][]int32 // group headers over flat
+	shuffle  []int     // ShuffleGroupsScratch permutation buffer
+	pairs    [][2]int32
+	mask     *partition.Bitset
+	boundary []int32
+	frontier []int32
+	inPart   []bool  // combine: partitions touched by the disagreement
+	parts    []int32 // combine: those partitions, ascending
+	wbuf     []int64 // ComputeScoreInto weight buffer
+}
+
+// memberParams is the per-run parameter block handed to a scratch: the
+// effective (defaulted) driver settings every member refines under, plus
+// the member's own grouping seed.
+type memberParams struct {
+	seed     int64
+	drp      int
+	shuffles int
+	khop     int
+	alpha    float64
+	maxLoad  int64
+}
+
+func newMemberScratch(g *graph.Graph, base []int32, k int32, acfg aragon.Config) *memberScratch {
+	n := g.NumVertices()
+	p := &partition.Partitioning{K: k, Assign: make([]int32, n)}
+	copy(p.Assign, base) // realistic bucket sizes for the index prealloc
+	ix := partition.BuildIndex(g, p)
+	src := rand.NewSource(0)
+	return &memberScratch{
+		g:      g,
+		p:      p,
+		ix:     ix,
+		ref:    aragon.NewRefiner(g, ix, acfg),
+		src:    src,
+		rng:    rand.New(src),
+		loads:  make([]int64, k),
+		perm:   make([]int32, k),
+		flat:   make([]int32, k),
+		groups: make([][]int32, 0, k/2+1),
+		mask:   partition.NewBitset(n),
+		inPart: make([]bool, k),
+		wbuf:   make([]int64, k),
+	}
+}
+
+// regroup deals the partitions into at most drp groups of >= 2, from a
+// fresh uniform permutation — the same round-robin rule as the driver's
+// randomGrouping, in allocation-free form (the permutation, the group
+// headers, and the flat member backing are all reused scratch). Group gi
+// holds perm[idx] for idx ≡ gi (mod m), laid out contiguously in flat.
+func (scr *memberScratch) regroup(drp int) [][]int32 {
+	k := int(scr.p.K)
+	for i := 0; i < k; i++ {
+		scr.perm[i] = int32(i)
+	}
+	scr.rng.Shuffle(k, func(i, j int) {
+		scr.perm[i], scr.perm[j] = scr.perm[j], scr.perm[i]
+	})
+	m := drp
+	if m > k/2 {
+		m = k / 2
+	}
+	if m < 1 {
+		m = 1
+	}
+	scr.groups = scr.groups[:0]
+	off := 0
+	for gi := 0; gi < m; gi++ {
+		sz := (k - gi + m - 1) / m // members gi, gi+m, gi+2m, ...
+		grp := scr.flat[off : off : off+sz]
+		for idx := gi; idx < k; idx += m {
+			grp = append(grp, scr.perm[idx])
+		}
+		scr.groups = append(scr.groups, grp)
+		off += sz
+	}
+	return scr.groups
+}
+
+// run executes one member to completion: reseed the scratch from the
+// base assignment and the member's seed, group, then refine 1+shuffles
+// rounds of circle-tournament pairs, shuffling the grouping between
+// rounds — Algorithm 1's inner loop without the group-server selection
+// and shipping accounting, which only feed Stats. base doubles as the
+// Eq. 3 migration reference.
+func (scr *memberScratch) run(base []int32, c [][]float64, par memberParams) (moves int, gain float64) {
+	copy(scr.p.Assign, base)
+	scr.ix.Rebuild()
+	scr.src.Seed(par.seed)
+	scr.reloadWeights()
+	groups := scr.regroup(par.drp)
+	rounds := 1 + par.shuffles
+	for round := 0; round < rounds; round++ {
+		mv, gn := scr.refineRound(base, c, groups, par)
+		moves += mv
+		gain += gn
+		if round+1 < rounds {
+			scr.shuffle = paragon.ShuffleGroupsScratch(groups, scr.rng, round, scr.shuffle)
+		}
+	}
+	return moves, gain
+}
+
+func (scr *memberScratch) reloadWeights() {
+	for i := range scr.loads {
+		scr.loads[i] = 0
+	}
+	for v := int32(0); v < scr.g.NumVertices(); v++ {
+		scr.loads[scr.p.Assign[v]] += int64(scr.g.VertexWeight(v))
+	}
+}
+
+// refineRound plays every group's circle tournament serially: groups
+// ascending, rounds in schedule order, pairs in the schedule's emission
+// order — a fixed traversal, so a member's output depends only on its
+// (base, seed, params).
+func (scr *memberScratch) refineRound(base []int32, c [][]float64, groups [][]int32, par memberParams) (moves int, gain float64) {
+	allowed := scr.allowedMask(par.khop)
+	for _, grp := range groups {
+		m := len(grp)
+		waves := m + (m & 1) - 1
+		for t := 0; t < waves; t++ {
+			scr.pairs = paragon.AppendTournamentRound(scr.pairs[:0], grp, t)
+			for _, pr := range scr.pairs {
+				res := scr.ref.RefinePair(base, pr[0], pr[1], c, scr.loads, par.maxLoad, allowed)
+				moves += res.Moves
+				gain += res.Gain
+			}
+		}
+	}
+	return moves, gain
+}
+
+// allowedMask builds the round's §5 movable-vertex mask: the k-hop
+// expansion of the current boundary. At k-hop 0 it returns nil — the
+// refiner then consults the index's live boundary counts directly, which
+// is both cheaper and self-updating within the round.
+func (scr *memberScratch) allowedMask(khop int) *partition.Bitset {
+	if khop <= 0 {
+		return nil
+	}
+	scr.boundary = scr.ix.AppendBoundary(scr.boundary[:0])
+	scr.frontier = graph.ExpandFrontier(scr.g, scr.boundary, khop, scr.frontier[:0])
+	scr.mask.ClearAll()
+	for _, v := range scr.frontier {
+		scr.mask.Set(v)
+	}
+	return scr.mask
+}
+
+// Pool owns the reusable state of portfolio refinement: one
+// memberScratch per worker slot plus the per-member result buffers the
+// coordinator reads after the join. Reusing one Pool across calls on the
+// same (graph, k) keeps steady-state allocations flat in the member
+// count — asserted by TestPortfolioPoolAllocsFlat.
+type Pool struct {
+	g       *graph.Graph
+	k       int32
+	acfg    aragon.Config
+	scratch []*memberScratch
+
+	// Per-member result buffers, indexed by member id: each is written
+	// by exactly the worker that ran the member, then read only by the
+	// coordinator after the join.
+	assigns [][]int32
+	scores  []partition.Score
+	moves   []int
+	gains   []float64
+	cpu     []int64 // nanoseconds, Stats-only
+	forfeit []bool
+	seeds   []int64
+}
+
+// ensure sizes the pool for a run of size members on workers worker
+// slots, rebuilding only what changed. A pool is bound to the (g, k,
+// refiner-config) triple it last served; any mismatch rebuilds the
+// scratch set.
+func (pl *Pool) ensure(g *graph.Graph, base []int32, k int32, workers, size int, acfg aragon.Config) {
+	if pl.g != g || pl.k != k || pl.acfg != acfg {
+		pl.g, pl.k, pl.acfg = g, k, acfg
+		pl.scratch = pl.scratch[:0]
+		pl.assigns = pl.assigns[:0]
+	}
+	for len(pl.scratch) < workers {
+		pl.scratch = append(pl.scratch, newMemberScratch(g, base, k, acfg))
+	}
+	for len(pl.assigns) < size {
+		pl.assigns = append(pl.assigns, make([]int32, len(base)))
+	}
+	if cap(pl.scores) < size {
+		pl.scores = make([]partition.Score, size)
+		pl.moves = make([]int, size)
+		pl.gains = make([]float64, size)
+		pl.cpu = make([]int64, size)
+		pl.forfeit = make([]bool, size)
+		pl.seeds = make([]int64, size)
+	}
+	pl.scores = pl.scores[:size]
+	pl.moves = pl.moves[:size]
+	pl.gains = pl.gains[:size]
+	pl.cpu = pl.cpu[:size]
+	pl.forfeit = pl.forfeit[:size]
+	pl.seeds = pl.seeds[:size]
+	for m := 0; m < size; m++ {
+		pl.scores[m] = partition.Score{}
+		pl.moves[m] = 0
+		pl.gains[m] = 0
+		pl.cpu[m] = 0
+		pl.forfeit[m] = false
+		pl.seeds[m] = 0
+	}
+}

@@ -1,0 +1,362 @@
+package portfolio
+
+import (
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"paragon/internal/faultsim"
+	"paragon/internal/gen"
+	"paragon/internal/graph"
+	"paragon/internal/obs"
+	"paragon/internal/paragon"
+	"paragon/internal/partition"
+	"paragon/internal/stream"
+	"paragon/internal/topology"
+)
+
+func assignHash(p *partition.Partitioning) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, a := range p.Assign {
+		buf[0] = byte(a)
+		buf[1] = byte(a >> 8)
+		buf[2] = byte(a >> 16)
+		buf[3] = byte(a >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// testInput builds the shared fixture: an RMAT graph with degree
+// weights, a streaming initial decomposition, and a non-uniform
+// architecture cost matrix.
+func testInput(t *testing.T, n int32, m int64, k int32) (*graph.Graph, *partition.Partitioning, [][]float64) {
+	t.Helper()
+	g := gen.RMAT(n, m, 0.57, 0.19, 0.19, 5)
+	g.UseDegreeWeights()
+	cl := topology.PittCluster(2)
+	c, err := cl.PartitionCostMatrix(int(k), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := stream.DG(g, k, stream.DefaultOptions())
+	return g, p, c
+}
+
+// zeroTimes strips the stopwatch fields — the only Stats content allowed
+// to vary across worker counts.
+func zeroTimes(st Stats) Stats {
+	st.WallTime = 0
+	st.CPUTime = 0
+	for i := range st.Members {
+		st.Members[i].CPUTime = 0
+	}
+	return st
+}
+
+func statsEqual(a, b Stats) bool {
+	if a.Size != b.Size || a.Forfeits != b.Forfeits ||
+		a.Winner != b.Winner || a.RunnerUp != b.RunnerUp ||
+		a.CombineDiff != b.CombineDiff || a.CombineMoves != b.CombineMoves ||
+		a.CombineGain != b.CombineGain || a.CombinedScore != b.CombinedScore ||
+		a.CombineApplied != b.CombineApplied ||
+		a.InputScore != b.InputScore || a.SelectedScore != b.SelectedScore ||
+		len(a.Members) != len(b.Members) {
+		return false
+	}
+	for i := range a.Members {
+		if a.Members[i] != b.Members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPortfolioDeterminism is the package's core contract: the selected
+// assignment hash and every non-stopwatch Stats field are byte-identical
+// at Workers 1, 2, and 8 — with and without fault injection — and the
+// trace and metrics serializations match byte for byte too.
+func TestPortfolioDeterminism(t *testing.T) {
+	g, p0, c := testInput(t, 4000, 24000, 32)
+	for _, faulty := range []bool{false, true} {
+		name := "clean"
+		if faulty {
+			name = "faulty"
+		}
+		t.Run(name, func(t *testing.T) {
+			var wantHash uint64
+			var wantStats Stats
+			var wantTrace, wantProm string
+			for i, workers := range []int{1, 2, 8} {
+				p := p0.Clone()
+				cfg := paragon.Config{
+					DRP: 4, Shuffles: 2, Seed: 7, Workers: workers,
+					Portfolio: paragon.PortfolioConfig{Size: 5, CombineTop: 2},
+					Trace:     obs.NewTracer(0),
+					Metrics:   obs.NewRegistry(),
+				}
+				if faulty {
+					cfg.FaultRate = 0.3
+					cfg.FaultSeed = 3
+				}
+				st, err := Refine(g, p, c, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Validate(g); err != nil {
+					t.Fatal(err)
+				}
+				tr := serializeTrace(t, cfg.Trace)
+				pm := serializeProm(t, cfg.Metrics)
+				h := assignHash(p)
+				if i == 0 {
+					wantHash, wantStats, wantTrace, wantProm = h, st, tr, pm
+					if faulty {
+						if st.Forfeits == 0 {
+							t.Fatalf("fault rate 0.3 over %d members fired no forfeit — fixture too weak", st.Size)
+						}
+						if st.Winner < 0 {
+							t.Fatalf("all members forfeited — fixture too strong")
+						}
+					}
+					continue
+				}
+				if h != wantHash {
+					t.Errorf("workers=%d: selected hash %#x, want %#x (workers=1)", workers, h, wantHash)
+				}
+				if !statsEqual(zeroTimes(st), zeroTimes(wantStats)) {
+					t.Errorf("workers=%d: stats diverged:\n got %+v\nwant %+v", workers, zeroTimes(st), zeroTimes(wantStats))
+				}
+				if tr != wantTrace {
+					t.Errorf("workers=%d: trace serialization diverged", workers)
+				}
+				if pm != wantProm {
+					t.Errorf("workers=%d: metrics serialization diverged", workers)
+				}
+			}
+		})
+	}
+}
+
+func serializeTrace(t *testing.T, tr *obs.Tracer) string {
+	t.Helper()
+	var sb stringsBuilder
+	if err := obs.WriteJSONL(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func serializeProm(t *testing.T, r *obs.Registry) string {
+	t.Helper()
+	var sb stringsBuilder
+	if err := obs.WriteProm(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// stringsBuilder avoids importing strings just for Builder.
+type stringsBuilder struct{ buf []byte }
+
+func (sb *stringsBuilder) Write(p []byte) (int, error) {
+	sb.buf = append(sb.buf, p...)
+	return len(p), nil
+}
+func (sb *stringsBuilder) String() string { return string(sb.buf) }
+
+// TestPortfolioCrashedMemberExclusion pins the forfeit semantics:
+// members are independent, so crashing one member (via a scripted fate
+// at round -1) must leave every survivor's score bit-identical to the
+// clean run, exclude the victim from selection, and re-crown the best
+// survivor — never silently substitute anything.
+func TestPortfolioCrashedMemberExclusion(t *testing.T) {
+	g, p0, c := testInput(t, 3000, 18000, 24)
+	cfg := paragon.Config{
+		DRP: 4, Shuffles: 1, Seed: 13,
+		Portfolio: paragon.PortfolioConfig{Size: 4, CombineTop: 0},
+	}
+	p := p0.Clone()
+	clean, err := Refine(g, p, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Winner < 0 {
+		t.Fatal("clean run selected no winner")
+	}
+
+	// Crash exactly the clean winner.
+	cfgCrash := cfg
+	cfgCrash.Fabric = faultsim.NewInjector(faultsim.Config{Script: []faultsim.Event{
+		{Kind: faultsim.KindCrash, Round: -1, Index: clean.Winner},
+	}})
+	p = p0.Clone()
+	crashed, err := Refine(g, p, c, cfgCrash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.Forfeits != 1 || !crashed.Members[clean.Winner].Forfeited {
+		t.Fatalf("member %d should have forfeited: %+v", clean.Winner, crashed)
+	}
+	if crashed.Winner == clean.Winner {
+		t.Fatalf("crashed member %d still selected", clean.Winner)
+	}
+	if (crashed.Members[clean.Winner].Score != partition.Score{}) {
+		t.Fatalf("forfeited member carries a score: %+v", crashed.Members[clean.Winner].Score)
+	}
+	// Survivors are untouched by the crash, and the new winner is the
+	// best of them under the same total order.
+	best := -1
+	for m, ms := range clean.Members {
+		if m == clean.Winner {
+			continue
+		}
+		if crashed.Members[m].Score != ms.Score || crashed.Members[m].Moves != ms.Moves {
+			t.Fatalf("member %d diverged under another member's crash: %+v vs %+v", m, crashed.Members[m], ms)
+		}
+		if best < 0 || ms.Score.Better(clean.Members[best].Score) {
+			best = m
+		}
+	}
+	if crashed.Winner != best {
+		t.Fatalf("winner after crash = %d, want best survivor %d", crashed.Winner, best)
+	}
+	if p.Validate(g) != nil || assignHash(p) == 0 {
+		t.Fatal("crashed-run output invalid")
+	}
+
+	// All-forfeit: the input decomposition survives untouched.
+	script := make([]faultsim.Event, 0, 4)
+	for m := 0; m < 4; m++ {
+		script = append(script, faultsim.Event{Kind: faultsim.KindCrash, Round: -1, Index: m})
+	}
+	cfgAll := cfg
+	cfgAll.Fabric = faultsim.NewInjector(faultsim.Config{Script: script})
+	p = p0.Clone()
+	all, err := Refine(g, p, c, cfgAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Winner != -1 || all.Forfeits != 4 {
+		t.Fatalf("all-forfeit run: %+v", all)
+	}
+	if assignHash(p) != assignHash(p0) {
+		t.Fatal("all-forfeit run mutated the input decomposition")
+	}
+	if all.SelectedScore != all.InputScore {
+		t.Fatalf("all-forfeit selected score %+v, want input score %+v", all.SelectedScore, all.InputScore)
+	}
+}
+
+// TestPortfolioCombineNeverWorse is the combine operator's property
+// test, across seeds: the output decomposition is valid, respects the
+// balance bound the members refined under, and is never worse than the
+// best single member under the partition.Score total order — whether or
+// not the overlay was applied.
+func TestPortfolioCombineNeverWorse(t *testing.T) {
+	g, p0, c := testInput(t, 3000, 18000, 24)
+	for seed := int64(0); seed < 6; seed++ {
+		p := p0.Clone()
+		cfg := paragon.Config{
+			DRP: 4, Shuffles: 1, Seed: seed,
+			Portfolio: paragon.PortfolioConfig{Size: 4, CombineTop: 2},
+		}
+		st, err := Refine(g, p, c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		best := st.Members[st.Winner].Score
+		if best.Better(st.SelectedScore) {
+			t.Fatalf("seed %d: selected %+v is worse than best member %+v", seed, st.SelectedScore, best)
+		}
+		if st.CombineDiff > 0 && best.Better(st.CombinedScore) {
+			t.Fatalf("seed %d: combined %+v is worse than best member %+v", seed, st.CombinedScore, best)
+		}
+		// The selected score must describe the decomposition actually
+		// left in p.
+		got := partition.ComputeScore(g, p, p0.Assign, c, 10)
+		if got != st.SelectedScore {
+			t.Fatalf("seed %d: SelectedScore %+v does not match p's recomputed score %+v", seed, st.SelectedScore, got)
+		}
+		// Balance: no partition exceeds the bound the members refined
+		// under, unless the input itself already violated it there.
+		bound := partition.BalanceBound(g, p.K, 0.02)
+		w := p.Weights(g)
+		w0 := p0.Weights(g)
+		for q, wq := range w {
+			if wq > bound && wq > w0[q] {
+				t.Fatalf("seed %d: partition %d weight %d exceeds bound %d (input was %d)", seed, q, wq, bound, w0[q])
+			}
+		}
+	}
+}
+
+// TestPortfolioPoolAllocsFlat asserts the pooled-scratch contract:
+// growing the member count on a warmed pool costs ~no additional
+// allocations per run (the per-member scratch is reused via the
+// member-id-keyed free list, and per-member results live in pooled
+// buffers).
+func TestPortfolioPoolAllocsFlat(t *testing.T) {
+	g, p0, c := testInput(t, 2000, 10000, 16)
+	measure := func(size int, pool *Pool) float64 {
+		cfg := paragon.Config{
+			DRP: 4, Shuffles: 1, Seed: 3, Workers: 2,
+			Portfolio: paragon.PortfolioConfig{Size: size, CombineTop: 2},
+		}
+		p := p0.Clone()
+		// Warm the pool (first run sizes every buffer).
+		if _, err := RefineWithPool(g, p, c, cfg, pool); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(3, func() {
+			pp := p0.Clone()
+			if _, err := RefineWithPool(g, pp, c, cfg, pool); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	var pool Pool
+	small := measure(2, &pool)
+	large := measure(8, &pool)
+	// The fixed overhead (Stats.Members, runner, waitgroup, clone in the
+	// closure) is allowed; what must NOT happen is per-member index or
+	// refiner construction (thousands of allocs each). Six extra members
+	// get a generous budget of 8 allocs each.
+	if large > small+48 {
+		t.Fatalf("allocs/op grew with member count: size=2 → %.0f, size=8 → %.0f", small, large)
+	}
+	t.Logf("allocs/op: size=2 %.0f, size=8 %.0f", small, large)
+}
+
+// TestPortfolioSelectedBeatsInput sanity-checks that the ensemble is
+// doing its job on a refinable input: the selected cost improves on the
+// input decomposition's cost.
+func TestPortfolioSelectedBeatsInput(t *testing.T) {
+	g, p0, c := testInput(t, 3000, 18000, 24)
+	p := p0.Clone()
+	st, err := Refine(g, p, c, paragon.Config{
+		DRP: 4, Shuffles: 1, Seed: 1,
+		Portfolio: paragon.PortfolioConfig{Size: 4, CombineTop: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SelectedScore.Cost() >= st.InputScore.CommCost {
+		t.Fatalf("selected cost %v did not improve on input comm cost %v",
+			st.SelectedScore.Cost(), st.InputScore.CommCost)
+	}
+	if st.CPUTime <= 0 || st.WallTime <= 0 {
+		t.Fatalf("stopwatches not populated: cpu=%v wall=%v", st.CPUTime, st.WallTime)
+	}
+	var sum time.Duration
+	for _, ms := range st.Members {
+		sum += ms.CPUTime
+	}
+	if sum != st.CPUTime {
+		t.Fatalf("CPUTime %v != Σ member CPU %v", st.CPUTime, sum)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"paragon/internal/paragon"
 	"paragon/internal/parmetis"
 	"paragon/internal/partition"
+	"paragon/internal/portfolio"
 	"paragon/internal/stream"
 	"paragon/internal/topology"
 )
@@ -205,6 +206,47 @@ func RefineUniform(g *Graph, p *Partitioning, cfg Config) (Stats, error) {
 func RefineSerial(g *Graph, p *Partitioning, c [][]float64, alpha, maxImbalance float64) error {
 	_, err := aragon.Refine(g, p, c, aragon.Config{Alpha: alpha, MaxImbalance: maxImbalance})
 	return err
+}
+
+// ---- Portfolio refinement ----
+
+// PortfolioConfig sizes the seeded-ensemble layer (Config.Portfolio).
+type PortfolioConfig = paragon.PortfolioConfig
+
+// PortfolioStats reports what a portfolio refinement did, per member.
+type PortfolioStats = portfolio.Stats
+
+// PortfolioMemberStats is one member's line in PortfolioStats.
+type PortfolioMemberStats = portfolio.MemberStats
+
+// PortfolioPool is reusable portfolio scratch: passing one pool across
+// RefinePortfolioWithPool calls on the same (graph, k) keeps allocations
+// flat in the member count.
+type PortfolioPool = portfolio.Pool
+
+// Score is the shared Eq. 2–4 scorer's result (partition.ComputeScore):
+// edge cut, communication cost, migration cost, and skewness, with the
+// deterministic Better total order used for portfolio selection.
+type Score = partition.Score
+
+// ComputeScore evaluates the Eq. 2–4 metrics of p in one sweep. orig is
+// the Eq. 3 migration reference assignment; nil scores in place.
+func ComputeScore(g *Graph, p *Partitioning, orig []int32, c [][]float64, alpha float64) Score {
+	return partition.ComputeScore(g, p, orig, c, alpha)
+}
+
+// RefinePortfolio races cfg.Portfolio.Size independently seeded
+// refinements of p on cfg.Workers workers, scores every member with the
+// Eq. 2–4 metrics, overlays the two best via the combine operator, and
+// leaves the selected decomposition in p. The selection is bit-identical
+// at every worker count.
+func RefinePortfolio(g *Graph, p *Partitioning, c [][]float64, cfg Config) (PortfolioStats, error) {
+	return portfolio.Refine(g, p, c, cfg)
+}
+
+// RefinePortfolioWithPool is RefinePortfolio on caller-owned scratch.
+func RefinePortfolioWithPool(g *Graph, p *Partitioning, c [][]float64, cfg Config, pool *PortfolioPool) (PortfolioStats, error) {
+	return portfolio.RefineWithPool(g, p, c, cfg, pool)
 }
 
 // ---- Observability ----

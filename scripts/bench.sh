@@ -23,20 +23,40 @@ obsout="${3:-BENCH_obs.json}"
 benchtime="${BENCHTIME:-5x}"
 count="${BENCHCOUNT:-3}"
 
+# Pinned reference numbers — THE single place to update when re-pinning.
+# baseline_pins is the scan-based implementation before
+# internal/partition.Index, measured once and frozen; pinned_pins is the
+# last committed HEAD measurement (paste a fresh run's "current" block
+# here when committing new numbers). Every current point is emitted with
+# its drift vs the pin, so baseline rot shows up in the JSON itself
+# instead of as an archaeology note in CHANGES.md.
+baseline_commit="a4d204a (pre-index scan-based refinement)"
+baseline_pins="BenchmarkRefinePairHot/k=32 3065617 50
+BenchmarkRefinePairHot/k=128 1253660 30
+BenchmarkParagonRound/k=32 159739650 2528
+BenchmarkParagonRound/k=128 1386737586 28217"
+pinned_commit="portfolio-refinement PR (BENCHTIME=8x BENCHCOUNT=4, 1-CPU CI box)"
+pinned_pins="BenchmarkRefinePairHot/k=32 1820112 51
+BenchmarkRefinePairHot/k=128 505952 37
+BenchmarkParagonRound/k=32 97761910 295
+BenchmarkParagonRound/k=128 415958510 549"
+
 tmp="$(mktemp)"
 faulttmp="$(mktemp)"
 obstmp="$(mktemp)"
 trap 'rm -f "$tmp" "$faulttmp" "$obstmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkRefinePairHot' -benchmem -benchtime "$benchtime" ./internal/aragon/ | tee -a "$tmp"
 # The overhead pairs run each side in its own process: heap growth and
 # drift inside a long-lived benchmark process systematically penalize
 # whichever benchmark runs second, swamping the ~1% signal. The count
 # repetitions are interleaved (base, fault, obs, base, fault, obs, ...)
 # rather than blocked per side, so slow machine-load drift across the
 # minutes of the run biases all sides equally instead of whichever block
-# happens to run last; the emitters keep the per-benchmark minimum.
+# happens to run last; the emitters keep the per-benchmark minimum —
+# the hot pair bench rides the same loop for the same reason (a single
+# cold process over-reports its µs-scale ops by tens of percent).
 for _ in $(seq "$count"); do
+    go test -run '^$' -bench 'BenchmarkRefinePairHot' -benchmem -benchtime "$benchtime" ./internal/aragon/ | tee -a "$tmp"
     go test -run '^$' -bench 'BenchmarkParagonRound$' -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee -a "$faulttmp"
     go test -run '^$' -bench 'BenchmarkParagonRoundFault$' -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee -a "$faulttmp"
     go test -run '^$' -bench 'BenchmarkParagonRoundObs$' -benchmem -benchtime "$benchtime" ./internal/paragon/ | tee -a "$obstmp"
@@ -46,9 +66,20 @@ grep '^BenchmarkParagonRound/' "$faulttmp" >> "$tmp"
 
 # Benchmark lines look like:
 #   BenchmarkParagonRound/k=128-8   5   336316376 ns/op   15844968 B/op   2307 allocs/op
-# The baseline block is the scan-based implementation (commit a4d204a,
-# before internal/partition.Index) on the same graphs and configs.
-awk -v out="$out" -v benchtime="$benchtime" '
+# The baseline and pinned blocks come from the shell pins above; every
+# current point carries drift_vs_pinned_pct so a stale pin is visible in
+# the artifact, not buried in commit history.
+awk -v out="$out" -v benchtime="$benchtime" \
+    -v baseline="$baseline_pins" -v baseline_commit="$baseline_commit" \
+    -v pinned="$pinned_pins" -v pinned_commit="$pinned_commit" '
+BEGIN {
+    nb = split(baseline, bl, "\n")
+    for (i = 1; i <= nb; i++) {
+        split(bl[i], f, " "); bns[f[1]] = f[2]; ballocs[f[1]] = f[3]; border[i-1] = f[1]
+    }
+    np = split(pinned, pl, "\n")
+    for (i = 1; i <= np; i++) { split(pl[i], f, " "); pns[f[1]] = f[2] }
+}
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)            # strip -GOMAXPROCS suffix
@@ -60,18 +91,21 @@ END {
     printf("{\n")                                               > out
     printf("  \"benchtime\": \"%s\",\n", benchtime)             > out
     printf("  \"graph\": \"RMAT n=100000 m=800000 seed=42, degree weights\",\n") > out
+    printf("  \"note\": \"drift_vs_pinned_pct compares this run to the pinned HEAD measurement (%s); re-pin scripts/bench.sh when committing new numbers.\",\n", pinned_commit) > out
     printf("  \"baseline\": {\n")                               > out
-    printf("    \"commit\": \"a4d204a (pre-index scan-based refinement)\",\n") > out
-    printf("    \"BenchmarkRefinePairHot/k=32\":  { \"ns_op\": 3065617,    \"allocs_op\": 50 },\n")    > out
-    printf("    \"BenchmarkRefinePairHot/k=128\": { \"ns_op\": 1253660,    \"allocs_op\": 30 },\n")    > out
-    printf("    \"BenchmarkParagonRound/k=32\":   { \"ns_op\": 159739650,  \"allocs_op\": 2528 },\n")  > out
-    printf("    \"BenchmarkParagonRound/k=128\":  { \"ns_op\": 1386737586, \"allocs_op\": 28217 }\n")  > out
+    printf("    \"commit\": \"%s\",\n", baseline_commit)        > out
+    for (i = 0; i < nb; i++) {
+        name = border[i]
+        printf("    \"%s\": { \"ns_op\": %s, \"allocs_op\": %s }%s\n",
+               name, bns[name], ballocs[name], (i < nb - 1) ? "," : "") > out
+    }
     printf("  },\n")                                            > out
     printf("  \"current\": {\n")                                > out
     for (i = 0; i < n; i++) {
         name = order[i]
-        printf("    \"%s\": { \"ns_op\": %s, \"allocs_op\": %s }%s\n",
-               name, ns[name], allocs[name], (i < n - 1) ? "," : "") > out
+        drift = (name in pns && pns[name] > 0) ? 100 * (ns[name] - pns[name]) / pns[name] : 0
+        printf("    \"%s\": { \"ns_op\": %s, \"allocs_op\": %s, \"drift_vs_pinned_pct\": %.1f }%s\n",
+               name, ns[name], allocs[name], drift, (i < n - 1) ? "," : "") > out
     }
     printf("  }\n}\n")                                          > out
 }

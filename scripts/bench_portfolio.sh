@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Portfolio pass (DESIGN.md §17): measures seeded tournament ensembles
+# over a P × workers grid and emits BENCH_portfolio.json with ns/op,
+# allocs/op, Σ member CPU and the selected decomposition's cost per
+# point. Each point runs in its own test process (PARAGON_PORT_* env)
+# so the wall-clock numbers are not polluted by neighbouring points.
+#
+# Determinism is enforced, not assumed: every worker count of a P must
+# produce the bit-identical selected decomposition (one distinct hash
+# per P across the whole worker sweep) or the run aborts. On boxes with
+# few cores the interesting evidence is member_cpu_ns staying ~constant
+# while cpu_utilization = member_cpu/wall approaches min(P, cores):
+# members really did overlap, and overlapping changed nothing.
+#
+# Usage: scripts/bench_portfolio.sh [output.json]
+#   PORT_P="2" PORT_WORKERS="1 2" PORT_N=10000 PORT_K=32 \
+#       scripts/bench_portfolio.sh /tmp/smoke.json    # ci.sh smoke config
+#   PORT_ITERS=3 scripts/bench_portfolio.sh           # more iterations
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_portfolio.json}"
+p_list="${PORT_P:-2 4 8}"
+workers_list="${PORT_WORKERS:-1 2 4}"
+n="${PORT_N:-50000}"
+k="${PORT_K:-64}"
+iters="${PORT_ITERS:-1}"
+
+ncpu="$(getconf _NPROCESSORS_ONLN)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+go test -c -o "$tmpdir/portfolio.test" ./internal/portfolio/
+
+# run_bench P WORKERS HASHFILE -> "ns_op allocs_op member_cpu_ns selcost"
+run_bench() {
+    PARAGON_PORT_P="$1" PARAGON_PORT_WORKERS="$2" PARAGON_PORT_N="$n" \
+    PARAGON_PORT_K="$k" PARAGON_PORT_HASH_FILE="$3" \
+    "$tmpdir/portfolio.test" -test.run '^$' -test.bench '^BenchmarkPortfolio$' \
+        -test.benchtime "${iters}x" -test.benchmem \
+    | awk '/^BenchmarkPortfolio/ {
+        for (i = 3; i < NF; i += 2) u[$(i+1)] = $i
+        printf("%s %s %s %s\n", u["ns/op"], u["allocs/op"], u["membercpu-ns/op"], u["selcost"])
+        found = 1
+      }
+      END { if (!found) exit 1 }'
+}
+
+points="$tmpdir/points"   # lines: label ns_op allocs_op member_cpu selcost
+: > "$points"
+
+for p in $p_list; do
+    hashfile="$tmpdir/hash_p$p.txt"
+    : > "$hashfile"
+    for w in $workers_list; do
+        echo "bench_portfolio: P=$p workers=$w n=$n k=$k..." >&2
+        read -r nsop allocs mcpu selcost < <(run_bench "$p" "$w" "$hashfile")
+        echo "portfolio/p=$p/workers=$w $nsop $allocs $mcpu $selcost" >> "$points"
+    done
+    # Bit-identity across worker counts: one distinct selected hash per
+    # P, or die. This is the acceptance check, not a best-effort log.
+    nh="$(awk '{ print $3 }' "$hashfile" | sort -u | wc -l)"
+    if [ "$nh" -ne 1 ]; then
+        echo "bench_portfolio: FATAL: P=$p produced $nh distinct selected hashes across worker counts:" >&2
+        cat "$hashfile" >&2
+        exit 1
+    fi
+    awk -v p="$p" '{ sub(/^hash=/, "", $3); print "hash/p=" p, $3; exit }' "$hashfile" >> "$points"
+done
+
+awk -v out="$out" -v iters="$iters" -v ncpu="$ncpu" -v n="$n" -v k="$k" '
+{ kind = $1 }
+kind ~ /^portfolio\// {
+    ns[kind] = $2; allocs[kind] = $3; mcpu[kind] = $4; sel[kind] = $5
+    order[cnt++] = kind
+    split(kind, parts, "/")
+    if (parts[3] == "workers=1") w1[parts[2]] = $2
+}
+kind ~ /^hash\// { split(kind, parts, "/"); hash[parts[2]] = $2 }
+END {
+    if (cnt == 0) { print "bench_portfolio.sh: no points" > "/dev/stderr"; exit 1 }
+    printf("{\n")                                                      > out
+    printf("  \"benchtime\": \"%sx per point, one process per point\",\n", iters) > out
+    printf("  \"graph\": \"RMAT n=%s m=6n seed=42, degree weights, k=%s, HP initial, DRP 8, 2 shuffles, uniform cost matrix, combine top-2\",\n", n, k) > out
+    printf("  \"hardware\": { \"online_cpus\": %s },\n", ncpu)         > out
+    printf("  \"note\": \"every worker count of a P produced the recorded selected hash — bit-identity is enforced by the harness. member_cpu_ns sums the per-member stopwatches (member wall time); cpu_utilization = member_cpu_ns / ns_op is bounded above by min(P, workers) and > 1 proves members overlapped in time. speedup_vs_workers1 is bounded above by min(workers, online_cpus).\",\n") > out
+    printf("  \"points\": {\n")                                        > out
+    for (i = 0; i < cnt; i++) {
+        p = order[i]
+        split(p, parts, "/")
+        plabel = parts[2]
+        s1 = (w1[plabel] > 0) ? w1[plabel] / ns[p] : 1
+        util = (ns[p] > 0) ? mcpu[p] / ns[p] : 0
+        printf("    \"%s\": { \"ns_op\": %s, \"allocs_op\": %s, \"member_cpu_ns\": %s, \"cpu_utilization\": %.2f, \"speedup_vs_workers1\": %.2f, \"selcost\": %s, \"selected_hash\": \"%s\" }%s\n",
+               p, ns[p], allocs[p], mcpu[p], util, s1, sel[p], hash[plabel], (i < cnt - 1) ? "," : "") > out
+    }
+    printf("  }\n}\n")                                                 > out
+}
+' "$points"
+
+echo "bench_portfolio: wrote $out"

@@ -42,10 +42,17 @@ go test -race ./internal/obs/
 # triple at either extreme.
 go test -race -cpu=1,4 ./internal/dir/
 
-# The directory must sit inside paragonlint's computed kernel set (the
-# facade re-exports pull it in) — if it ever drops out, the wallclock/
-# sharedwrite/reduceorder checkers silently stop covering it.
+# Portfolio ensembles under the race detector at GOMAXPROCS 1 and 4:
+# members race on the shared frozen graph with member-id-owned result
+# slots (DESIGN.md §17); -cpu also changes the Config.Workers default,
+# so the determinism tests cover serialized and interleaved members.
+go test -race -cpu=1,4 ./internal/portfolio/
+
+# The directory and the portfolio must sit inside paragonlint's computed
+# kernel set (the facade re-exports pull them in) — if either drops out,
+# the wallclock/sharedwrite/reduceorder checkers silently stop covering it.
 "$lintdir/paragonlint" -kernel | grep -q '^paragon/internal/dir$'
+"$lintdir/paragonlint" -kernel | grep -q '^paragon/internal/portfolio$'
 
 # Obs determinism end to end: the same seeded faulty run at -workers 1
 # and 8 must serialize byte-identical trace and metrics files — the
@@ -82,5 +89,12 @@ grep -q '"refine/n=100000/workers=2"' "$obsdir/scale_smoke.json"
 DIR_WORKERS="1 2" DIR_N=65536 DIR_FLIPS=64 \
     scripts/bench_dir.sh "$obsdir/dir_smoke.json" > /dev/null
 grep -q '"lookupflip/workers=2"' "$obsdir/dir_smoke.json"
+
+# Portfolio harness smoke: bench_portfolio.sh end to end (env-driven
+# bench processes, cross-worker selected-hash identity, JSON assembly)
+# at a small grid — the bit-identity enforcement itself runs here too.
+PORT_P="2" PORT_WORKERS="1 2" PORT_N=10000 PORT_K=32 \
+    scripts/bench_portfolio.sh "$obsdir/port_smoke.json" > /dev/null
+grep -q '"portfolio/p=2/workers=2"' "$obsdir/port_smoke.json"
 
 echo "ci: all green"
