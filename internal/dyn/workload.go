@@ -1,0 +1,102 @@
+package dyn
+
+import (
+	"math/rand"
+)
+
+// The streaming daemon's load source: a seeded generator producing the
+// batch schedule the session ingests — edge churn drawn by ChurnOps
+// against the live adjacency, plus vertex arrivals wired to existing
+// vertices with the same friend-of-friend preference. One Workload and
+// one (seed, config) pair define the whole schedule deterministically:
+// replaying it against a deterministic session reproduces every batch
+// bit-identically regardless of worker count or wall-clock timing.
+
+// Arrival is one vertex joining the graph: the session assigns it the
+// next free vertex id and connects it to the listed (already existing)
+// neighbors with the paired edge weights.
+type Arrival struct {
+	Neighbors []int32
+	Weights   []int32
+}
+
+// Batch is one ingest unit: edge churn ops plus vertex arrivals, in
+// application order (ops first, then arrivals).
+type Batch struct {
+	Seq      int64 // 0-based batch sequence number
+	Ops      []EdgeOp
+	Arrivals []Arrival
+}
+
+// WorkloadConfig shapes each generated batch.
+type WorkloadConfig struct {
+	Adds     int // edge additions per batch
+	Removes  int // edge removals per batch
+	Arrivals int // vertex arrivals per batch
+	// ArrivalDegree is how many neighbors an arriving vertex wires to
+	// (default 3, capped by the number of existing vertices).
+	ArrivalDegree int
+}
+
+// Workload generates the seeded batch schedule. Not safe for concurrent
+// use; the daemon drives it from its single ingest loop.
+type Workload struct {
+	cfg WorkloadConfig
+	rng *rand.Rand
+	seq int64
+}
+
+// NewWorkload returns a generator whose batch sequence is a pure
+// function of (seed, cfg) and the Source views passed to Next.
+func NewWorkload(seed int64, cfg WorkloadConfig) *Workload {
+	if cfg.ArrivalDegree <= 0 {
+		cfg.ArrivalDegree = 3
+	}
+	return &Workload{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next generates the next batch against the current adjacency view. The
+// view's NumVertices bounds every generated endpoint, so the session
+// passes its active-prefix view and arrivals always wire to vertices
+// that exist at application time.
+func (w *Workload) Next(src Source) Batch {
+	b := Batch{Seq: w.seq}
+	w.seq++
+	n := src.NumVertices()
+	if n < 2 {
+		return b
+	}
+	b.Ops = ChurnOps(src, w.cfg.Adds, w.cfg.Removes, w.rng)
+	for i := 0; i < w.cfg.Arrivals; i++ {
+		deg := w.cfg.ArrivalDegree
+		if int32(deg) > n {
+			deg = int(n)
+		}
+		a := Arrival{
+			Neighbors: make([]int32, 0, deg),
+			Weights:   make([]int32, 0, deg),
+		}
+		for j := 0; j < deg; j++ {
+			// Half friend-of-friend around a uniform anchor, half
+			// uniform — the same growth mix as ChurnOps additions.
+			u := int32(w.rng.Intn(int(n)))
+			if d := src.Degree(u); d > 0 && w.rng.Intn(2) == 0 {
+				u = src.Neighbor(u, int32(w.rng.Intn(int(d))))
+			}
+			dup := false
+			for _, prev := range a.Neighbors {
+				if prev == u {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue // fewer distinct neighbors, never a parallel edge
+			}
+			a.Neighbors = append(a.Neighbors, u)
+			a.Weights = append(a.Weights, 1)
+		}
+		b.Arrivals = append(b.Arrivals, a)
+	}
+	return b
+}

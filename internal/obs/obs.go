@@ -128,6 +128,22 @@ const (
 	// member id (-1 if every member forfeited), B = 1 if the combined
 	// decomposition beat the winner (0 otherwise), X = the selected cost.
 	KindPortfolioSelect
+	// KindIngestBatch closes one ingested batch of the streaming
+	// session: Round = batch sequence, N = churn ops applied, M = vertex
+	// arrivals placed, A = active vertex count, X = live Eq. 4 skewness.
+	KindIngestBatch
+	// KindEpochTrigger reports the trigger decision that launched a
+	// session refinement epoch: Round = batch sequence, A = reason code
+	// (0 skew, 1 churn, 2 staleness), X = the offending metric value.
+	KindEpochTrigger
+	// KindEpochLaunch opens a session refinement epoch: Round = batch
+	// sequence at launch, A = epoch launch index, N = snapshot edges.
+	KindEpochLaunch
+	// KindEpochMerge closes a session refinement epoch at its join
+	// barrier: Round = batch sequence at join, A = 1 committed / 0
+	// aborted, N = the directory epoch now live, M = moved vertices,
+	// X = the live Eq. 2 comm cost after the merge (0 on abort).
+	KindEpochMerge
 
 	numKinds // sentinel; keep last
 )
@@ -159,6 +175,10 @@ var kindNames = [numKinds]string{
 	KindMemberRefined:     "member_refined",
 	KindPortfolioCombine:  "portfolio_combine",
 	KindPortfolioSelect:   "portfolio_select",
+	KindIngestBatch:       "ingest_batch",
+	KindEpochTrigger:      "epoch_trigger",
+	KindEpochLaunch:       "epoch_launch",
+	KindEpochMerge:        "epoch_merge",
 }
 
 // String returns the snake_case event name used by the JSONL sink.

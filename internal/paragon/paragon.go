@@ -254,6 +254,31 @@ type FaultStats struct {
 // returns statistics. The input decomposition is used as the migration
 // reference of Eq. 9.
 func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config) (Stats, error) {
+	return refine(g, p, c, cfg, nil)
+}
+
+// RefineIndexed is Refine on a caller-maintained incremental index: the
+// O(|V| + |E|) BuildIndex at the top of every call is skipped and ix is
+// used (and kept consistent) instead. This is the streaming session's
+// epoch entry point — across epochs it pays only the O(Σ deg(dirty))
+// Index.Retarget for the churn since the last epoch, never a full
+// rebuild. ix must have been built over exactly this (g, p): the commit
+// loop replays every kept move through it, so on return ix again
+// matches the refined p move for move.
+func RefineIndexed(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config, ix *partition.Index) (Stats, error) {
+	if ix == nil {
+		return Stats{}, errors.New("paragon: RefineIndexed requires a non-nil index")
+	}
+	if ix.Partitioning() != p {
+		return Stats{}, errors.New("paragon: index was built over a different partitioning")
+	}
+	if ix.Graph() != g {
+		return Stats{}, errors.New("paragon: index targets a different graph snapshot (Retarget it first)")
+	}
+	return refine(g, p, c, cfg, ix)
+}
+
+func refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config, ix *partition.Index) (Stats, error) {
 	// Refine is the driver boundary: it orchestrates the group servers
 	// and reports Stats.RefinementTime, but the clock never influences
 	// refinement decisions — the inner kernels (refineGroup,
@@ -325,8 +350,11 @@ func Refine(g *graph.Graph, p *partition.Partitioning, c [][]float64, cfg Config
 	// One incrementally maintained index serves every round: the commit
 	// phase applies each kept move through it, so boundary counts, bucket
 	// membership, and incident-edge sums stay current without per-round
-	// full-graph rebuilds or per-pair full-graph scans.
-	ix := partition.BuildIndex(g, p)
+	// full-graph rebuilds or per-pair full-graph scans. RefineIndexed
+	// callers supply a live index and skip the build entirely.
+	if ix == nil {
+		ix = partition.BuildIndex(g, p)
+	}
 	// The pair-level scheduler (schedule.go): one shared shadow of the
 	// master, a wave-constant frozen view, per-worker refiners and move
 	// arenas, and the sharded O(|V|) sweeps — all scratch allocated once

@@ -118,6 +118,46 @@ func bucketCap(n int32) int32 { return n + n/8 + 8 }
 // Partitioning returns the decomposition this index maintains.
 func (ix *Index) Partitioning() *Partitioning { return ix.p }
 
+// Graph returns the graph snapshot this index currently targets.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// Retarget switches the index to a new graph snapshot over the same
+// vertex-id space, delta-repairing only the dirty vertices instead of
+// the O(|V| + |E|) Rebuild — the operation behind the streaming-ingest
+// session's "reuse the live index across epochs" contract. dirty must
+// list, without duplicates, every vertex whose adjacency differs
+// between the old snapshot and g (both endpoints of every added or
+// removed edge); vertices outside dirty are assumed bit-identical in
+// both snapshots. Cost: O(Σ_{v ∈ dirty} (deg_old(v) + deg_new(v))).
+//
+// Buckets and positions are untouched (membership is a function of the
+// partitioning, not the graph); the per-partition incident-edge sums
+// take the degree delta of each dirty vertex and the external-neighbor
+// counts of dirty vertices are recomputed against g. A duplicate entry
+// in dirty would double-count its degree delta, which is why the
+// contract forbids duplicates rather than hiding them behind a set.
+func (ix *Index) Retarget(g *graph.Graph, dirty []int32) error {
+	old := ix.g
+	if g.NumVertices() != old.NumVertices() {
+		return fmt.Errorf("partition: Retarget to %d vertices, index holds %d", g.NumVertices(), old.NumVertices())
+	}
+	for _, v := range dirty {
+		ix.incident[ix.p.Assign[v]] += int64(g.Degree(v)) - int64(old.Degree(v))
+	}
+	ix.g = g
+	for _, v := range dirty {
+		pv := ix.p.Assign[v]
+		var ext int32
+		for _, u := range g.Neighbors(v) {
+			if ix.p.Assign[u] != pv {
+				ext++
+			}
+		}
+		ix.ext[v] = ext
+	}
+	return nil
+}
+
 // Move reassigns v to partition `to` in O(deg(v)): the bucket membership,
 // the external-neighbor counts of v and all its neighbors, and the
 // incident-edge sums are all delta-updated. A self-move is a no-op.

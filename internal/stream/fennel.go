@@ -2,7 +2,6 @@ package stream
 
 import (
 	"fmt"
-	"math"
 
 	"paragon/internal/graph"
 	"paragon/internal/partition"
@@ -18,7 +17,11 @@ import (
 // LDG's hard capacity. The weighted extension uses edge-weight affinity
 // and vertex-weight loads, consistent with the paper's extension of DG
 // and LDG. A hard capacity of (1+Eps)·avg·2 backstops pathological
-// skew.
+// skew. Placement itself lives in Placer (place.go), shared with the
+// streaming-ingest session: ties break uniformly to the lower load
+// (including against the first candidate scored, which the old loop's
+// best == -1 sentinel exempted) and the per-vertex affinity reset walks
+// only the touched entries instead of all k.
 func Fennel(g *graph.Graph, k int32, opt Options) *partition.Partitioning {
 	if k < 1 {
 		panic(fmt.Sprintf("stream: Fennel k = %d", k))
@@ -28,49 +31,16 @@ func Fennel(g *graph.Graph, k int32, opt Options) *partition.Partitioning {
 	for i := range p.Assign {
 		p.Assign[i] = -1
 	}
-	totalW := float64(g.TotalVertexWeight())
-	totalE := float64(g.TotalEdgeWeight())
-	if totalW == 0 {
-		totalW = 1
-	}
-	const gamma = 1.5
-	alpha := math.Sqrt(float64(k)) * totalE / math.Pow(totalW, gamma)
+	alpha := FennelAlpha(k, float64(g.TotalEdgeWeight()), float64(g.TotalVertexWeight()))
 	hardCap := 2 * float64(partition.BalanceBound(g, k, opt.Eps))
+	pl := NewPlacer(PlaceFennel, k)
 	load := make([]float64, k)
-	aff := make([]float64, k)
 
 	for _, v := range streamOrder(g, opt.order(), opt.Seed) {
-		adj := g.Neighbors(v)
-		w := g.EdgeWeights(v)
-		for i, u := range adj {
-			if pu := p.Assign[u]; pu >= 0 {
-				aff[pu] += float64(w[i])
-			}
-		}
-		best := int32(-1)
-		bestScore := math.Inf(-1)
-		for pi := int32(0); pi < k; pi++ {
-			if load[pi]+float64(g.VertexWeight(v)) > hardCap {
-				continue
-			}
-			score := aff[pi] - alpha*gamma*math.Pow(load[pi], gamma-1)
-			if score > bestScore || (score == bestScore && best >= 0 && load[pi] < load[best]) {
-				best, bestScore = pi, score
-			}
-		}
-		if best < 0 {
-			best = 0
-			for pi := int32(1); pi < k; pi++ {
-				if load[pi] < load[best] {
-					best = pi
-				}
-			}
-		}
+		vw := float64(g.VertexWeight(v))
+		best := pl.Place(g.Neighbors(v), g.EdgeWeights(v), p.Assign, load, vw, hardCap, alpha)
 		p.Assign[v] = best
-		load[best] += float64(g.VertexWeight(v))
-		for pi := range aff {
-			aff[pi] = 0
-		}
+		load[best] += vw
 	}
 	return p
 }

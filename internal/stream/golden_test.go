@@ -1,0 +1,131 @@
+package stream
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"paragon/internal/gen"
+	"paragon/internal/partition"
+)
+
+// assignHash folds an assignment into one FNV-1a word for golden pinning.
+func assignHash(p *partition.Partitioning) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, a := range p.Assign {
+		buf[0] = byte(a)
+		buf[1] = byte(a >> 8)
+		buf[2] = byte(a >> 16)
+		buf[3] = byte(a >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// The streaming partitioners feed both the batch pipeline and the
+// daemon's arrival placement, so their output for a fixed (graph, k,
+// options) is pinned here — any change to the placement rules must
+// re-pin deliberately instead of shifting silently. (These were the
+// last golden-free partitioners in the tree.)
+func TestStreamPartitionerGoldens(t *testing.T) {
+	g := gen.RMAT(2000, 10000, 0.57, 0.19, 0.19, 8)
+	opt := DefaultOptions()
+	cases := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"dg", assignHash(DG(g, 8, opt)), 0x291214702a71cde6},
+		{"ldg", assignHash(LDG(g, 8, opt)), 0xf91f311bcb4d23f1},
+		{"fennel", assignHash(Fennel(g, 8, opt)), 0x44c85c402ea64c20},
+		{"hp", assignHash(HP(g, 8)), 0xd1ac061190dba633},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s assignment hash = %#x, want %#x", c.name, c.got, c.want)
+		}
+	}
+}
+
+// Placement is deterministic run to run and identical between the batch
+// partitioner and a fresh Placer fed the same arrival order — the
+// property the daemon's replay contract rests on.
+func TestPlacerMatchesBatchPartitioner(t *testing.T) {
+	g := gen.RMAT(1500, 7000, 0.57, 0.19, 0.19, 4)
+	const k = 6
+	opt := DefaultOptions()
+
+	ldg := LDG(g, k, opt)
+	capacity := float64(partition.BalanceBound(g, k, opt.Eps))
+	pl := NewPlacer(PlaceLDG, k)
+	load := make([]float64, k)
+	p := partition.New(k, g.NumVertices())
+	for i := range p.Assign {
+		p.Assign[i] = -1
+	}
+	for v := int32(0); v < g.NumVertices(); v++ { // natural order, as opt
+		vw := float64(g.VertexWeight(v))
+		best := pl.Place(g.Neighbors(v), g.EdgeWeights(v), p.Assign, load, vw, capacity, 0)
+		p.Assign[v] = best
+		load[best] += vw
+	}
+	for v := range p.Assign {
+		if p.Assign[v] != ldg.Assign[v] {
+			t.Fatalf("vertex %d: placer chose %d, batch LDG chose %d", v, p.Assign[v], ldg.Assign[v])
+		}
+	}
+}
+
+// The fennel.go:57 regression: a tie against the first candidate scored
+// must break to the lower load like any other tie, not stick with the
+// earlier partition.
+func TestPlaceFennelTieBreaksToLowerLoad(t *testing.T) {
+	pl := NewPlacer(PlaceFennel, 3)
+	// alpha = 0 makes every empty-affinity score 0: a three-way tie.
+	load := []float64{5, 2, 4}
+	if got := pl.Place(nil, nil, nil, load, 1, 100, 0); got != 1 {
+		t.Fatalf("fennel tie placed on %d, want least-loaded 1", got)
+	}
+	// With affinity toward partition 0 and 2 equal, the tie again breaks
+	// to the lower load even though partition 0 is scored first.
+	pl2 := NewPlacer(PlaceFennel, 3)
+	adj := []int32{0, 1}
+	wts := []int32{2, 2}
+	assign := []int32{0, 2} // neighbor 0 in partition 0, neighbor 1 in partition 2
+	load2 := []float64{7, 9, 3}
+	if got := pl2.Place(adj, wts, assign, load2, 1, 100, 0); got != 2 {
+		t.Fatalf("fennel affinity tie placed on %d, want lower-load 2", got)
+	}
+}
+
+func TestPlaceGreedyFallbackLeastLoaded(t *testing.T) {
+	pl := NewPlacer(PlaceDG, 4)
+	load := []float64{3, 1, 2, 1}
+	// No placed neighbors: DG falls back to least loaded, lowest index.
+	if got := pl.Place(nil, nil, nil, load, 1, 10, 0); got != 1 {
+		t.Fatalf("fallback placed on %d, want 1", got)
+	}
+	// All candidates over capacity: same fallback.
+	adj := []int32{0}
+	wts := []int32{5}
+	assign := []int32{0}
+	if got := pl.Place(adj, wts, assign, load, 8, 10, 0); got != 1 {
+		t.Fatalf("over-capacity fallback placed on %d, want 1", got)
+	}
+}
+
+// The touched-list reset must leave no residue between calls: two
+// placements with disjoint neighborhoods see independent affinities.
+func TestPlacerScratchReset(t *testing.T) {
+	pl := NewPlacer(PlaceDG, 4)
+	load := make([]float64, 4)
+	assign := []int32{3, 2}
+	if got := pl.Place([]int32{0}, []int32{9}, assign, load, 1, 100, 0); got != 3 {
+		t.Fatalf("first placement on %d, want 3", got)
+	}
+	load[3]++
+	// If aff[3] leaked, this would still pick 3 over 2.
+	if got := pl.Place([]int32{1}, []int32{5}, assign, load, 1, 100, 0); got != 2 {
+		t.Fatalf("second placement on %d, want 2 (scratch residue?)", got)
+	}
+}

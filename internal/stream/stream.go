@@ -91,52 +91,18 @@ func greedy(g *graph.Graph, k int32, opt Options, linear bool) *partition.Partit
 	if capacity < 1 {
 		capacity = 1
 	}
+	rule := PlaceDG
+	if linear {
+		rule = PlaceLDG
+	}
+	pl := NewPlacer(rule, k)
 	load := make([]float64, k)
-	affinity := make([]float64, k) // scratch, reset per vertex via touched list
-	touched := make([]int32, 0, 64)
 
 	for _, v := range streamOrder(g, opt.order(), opt.Seed) {
-		adj := g.Neighbors(v)
-		w := g.EdgeWeights(v)
-		touched = touched[:0]
-		for i, u := range adj {
-			pu := p.Assign[u]
-			if pu < 0 {
-				continue // neighbor not yet streamed in
-			}
-			if affinity[pu] == 0 {
-				touched = append(touched, pu)
-			}
-			affinity[pu] += float64(w[i])
-		}
-		best := int32(-1)
-		bestScore := -1.0
-		for _, pi := range touched {
-			if load[pi]+float64(g.VertexWeight(v)) > capacity {
-				continue
-			}
-			score := affinity[pi]
-			if linear {
-				score *= 1 - load[pi]/capacity
-			}
-			if score > bestScore || (score == bestScore && best >= 0 && load[pi] < load[best]) {
-				best, bestScore = pi, score
-			}
-		}
-		if best < 0 || bestScore <= 0 {
-			// No admissible neighbor partition: fall back to least loaded.
-			best = 0
-			for pi := int32(1); pi < k; pi++ {
-				if load[pi] < load[best] {
-					best = pi
-				}
-			}
-		}
+		vw := float64(g.VertexWeight(v))
+		best := pl.Place(g.Neighbors(v), g.EdgeWeights(v), p.Assign, load, vw, capacity, 0)
 		p.Assign[v] = best
-		load[best] += float64(g.VertexWeight(v))
-		for _, pi := range touched {
-			affinity[pi] = 0
-		}
+		load[best] += vw
 	}
 	return p
 }

@@ -27,6 +27,7 @@ import (
 	"paragon/internal/aragon"
 	"paragon/internal/bsp"
 	"paragon/internal/dir"
+	"paragon/internal/dyn"
 	"paragon/internal/faultsim"
 	"paragon/internal/gen"
 	"paragon/internal/graph"
@@ -37,6 +38,7 @@ import (
 	"paragon/internal/parmetis"
 	"paragon/internal/partition"
 	"paragon/internal/portfolio"
+	"paragon/internal/session"
 	"paragon/internal/stream"
 	"paragon/internal/topology"
 )
@@ -391,6 +393,87 @@ func NewPartitionDirectory(assign []int32, k int32, opts DirectoryOptions) (*Par
 // replaying to the last committed epoch and discarding any torn tail.
 func RecoverPartitionDirectory(journal []byte, opts DirectoryOptions) (*PartitionDirectory, error) {
 	return dir.Recover(journal, opts)
+}
+
+// ---- Streaming sessions (the paragond core) ----
+
+// Session is the streaming-ingest repartitioning state machine behind
+// cmd/paragond: it absorbs seeded churn batches into a live dynamic
+// graph, maintains the Eq. 2–4 score incrementally, launches incremental
+// refinement epochs when a TriggerPolicy fires, and publishes committed
+// epochs atomically through an embedded PartitionDirectory. The whole
+// (seed, schedule) run replays bit-identically at every worker count.
+type Session = session.Session
+
+// SessionConfig tunes a Session (capacity, trigger, epoch pacing,
+// refinement config, fault injection, observability).
+type SessionConfig = session.Config
+
+// SessionStats is a session's cumulative accounting.
+type SessionStats = session.Stats
+
+// SessionBatchStats reports what one ingested batch did.
+type SessionBatchStats = session.BatchStats
+
+// NewSession opens a session over a base graph and its initial
+// decomposition.
+func NewSession(g0 *Graph, p0 *Partitioning, cfg SessionConfig) (*Session, error) {
+	return session.New(g0, p0, cfg)
+}
+
+// ChurnSource is the adjacency view workload generation draws endpoints
+// from; Session.Source exposes the live graph as one.
+type ChurnSource = dyn.Source
+
+// EdgeOp is one churn event (edge addition or removal).
+type EdgeOp = dyn.EdgeOp
+
+// ChurnBatch is one seeded workload step: edge churn plus vertex
+// arrivals.
+type ChurnBatch = dyn.Batch
+
+// VertexArrival is one new vertex with its initial neighbor set.
+type VertexArrival = dyn.Arrival
+
+// Workload deterministically generates the churn-batch schedule a
+// session ingests; same seed and config, same batches forever.
+type Workload = dyn.Workload
+
+// WorkloadConfig shapes each generated batch.
+type WorkloadConfig = dyn.WorkloadConfig
+
+// NewWorkload returns a seeded workload generator.
+func NewWorkload(seed int64, cfg WorkloadConfig) *Workload {
+	return dyn.NewWorkload(seed, cfg)
+}
+
+// TriggerPolicy decides when accumulated dynamism justifies a
+// refinement epoch (Eq. 4 skew, churned-edge fraction, Eq. 2
+// staleness).
+type TriggerPolicy = dyn.TriggerPolicy
+
+// TriggerDecision explains one trigger evaluation.
+type TriggerDecision = dyn.Decision
+
+// DefaultTrigger returns the default trigger policy.
+func DefaultTrigger() TriggerPolicy { return dyn.DefaultTrigger() }
+
+// PlaceRule selects the single-vertex arrival placement heuristic.
+type PlaceRule = stream.PlaceRule
+
+// Arrival placement rules.
+const (
+	PlaceDG     = stream.PlaceDG
+	PlaceLDG    = stream.PlaceLDG
+	PlaceFennel = stream.PlaceFennel
+)
+
+// ParsePlaceRule parses "dg", "ldg", or "fennel".
+func ParsePlaceRule(s string) (PlaceRule, error) { return stream.ParsePlaceRule(s) }
+
+// RandomChurn generates adds+removes seeded edge events against g.
+func RandomChurn(g *Graph, adds, removes int, seed int64) []EdgeOp {
+	return dyn.RandomChurn(g, adds, removes, seed)
 }
 
 // ---- Execution simulator ----

@@ -48,11 +48,19 @@ go test -race -cpu=1,4 ./internal/dir/
 # so the determinism tests cover serialized and interleaved members.
 go test -race -cpu=1,4 ./internal/portfolio/
 
-# The directory and the portfolio must sit inside paragonlint's computed
-# kernel set (the facade re-exports pull them in) — if either drops out,
-# the wallclock/sharedwrite/reduceorder checkers silently stop covering it.
+# Streaming sessions under the race detector at GOMAXPROCS 1 and 4: the
+# ingest goroutine and the epoch refinement goroutine hand the index and
+# snapshot back and forth through a channel by design (DESIGN.md §18);
+# the replay tests assert bit-identity at both extremes, with faults on.
+go test -race -cpu=1,4 ./internal/session/
+
+# The directory, the portfolio, and the session must sit inside
+# paragonlint's computed kernel set (the facade re-exports pull them
+# in) — if any drops out, the wallclock/sharedwrite/reduceorder checkers
+# silently stop covering it.
 "$lintdir/paragonlint" -kernel | grep -q '^paragon/internal/dir$'
 "$lintdir/paragonlint" -kernel | grep -q '^paragon/internal/portfolio$'
+"$lintdir/paragonlint" -kernel | grep -q '^paragon/internal/session$'
 
 # Obs determinism end to end: the same seeded faulty run at -workers 1
 # and 8 must serialize byte-identical trace and metrics files — the
@@ -69,6 +77,21 @@ for w in 1 8; do
 done
 cmp "$obsdir/t1.jsonl" "$obsdir/t8.jsonl"
 cmp "$obsdir/m1.prom" "$obsdir/m8.prom"
+
+# Daemon determinism end to end: the same seeded churn schedule with the
+# fault layer on must produce byte-identical replay summaries, traces,
+# and metrics at -workers 1 and 8 — the streaming half of the replay
+# contract, checked through the real CLI.
+go build -o "$obsdir/paragond" ./cmd/paragond
+for w in 1 8; do
+    "$obsdir/paragond" -n0 2000 -m0 10000 -k 8 -batches 40 \
+        -adds 200 -removes 80 -arrivals 5 -workers "$w" \
+        -fault-rate 0.35 -replay-out "$obsdir/d$w.txt" \
+        -trace "$obsdir/dt$w.jsonl" -metrics "$obsdir/dm$w.prom" > /dev/null
+done
+cmp "$obsdir/d1.txt" "$obsdir/d8.txt"
+cmp "$obsdir/dt1.jsonl" "$obsdir/dt8.jsonl"
+cmp "$obsdir/dm1.prom" "$obsdir/dm8.prom"
 
 # Bench bitrot smoke: compile and run every benchmark once so benchmark
 # code can't silently rot between perf-measurement sessions.
@@ -96,5 +119,12 @@ grep -q '"lookupflip/workers=2"' "$obsdir/dir_smoke.json"
 PORT_P="2" PORT_WORKERS="1 2" PORT_N=10000 PORT_K=32 \
     scripts/bench_portfolio.sh "$obsdir/port_smoke.json" > /dev/null
 grep -q '"portfolio/p=2/workers=2"' "$obsdir/port_smoke.json"
+
+# Daemon harness smoke: bench_daemon.sh end to end (env-driven daemon
+# runs, cmp-enforced cross-worker replay identity, JSON assembly) at a
+# small schedule — the replay enforcement itself runs here too.
+DAEMON_WORKERS="1 4" DAEMON_N0=2000 DAEMON_M0=10000 DAEMON_BATCHES=30 \
+    scripts/bench_daemon.sh "$obsdir/daemon_smoke.json" > /dev/null
+grep -q '"ingest/workers=4"' "$obsdir/daemon_smoke.json"
 
 echo "ci: all green"
